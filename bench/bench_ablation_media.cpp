@@ -1,0 +1,76 @@
+// Ablation: TLC vs QLC normal region on the Fig. 6(a) workload.
+//
+// §III-B's heterogeneous timing model makes the media swap a config
+// change: QLC programs a 64 KiB one-shot unit in 6.4 ms and reads in
+// 85 us (Table II), so sequential writes drop by roughly the pulse
+// ratio while the SLC secondary buffer's role grows. QLC blocks also
+// divide evenly into 16 MiB zones, so the §III-E alignment patch
+// disappears.
+#include "bench_common.hpp"
+
+namespace conzone::bench {
+namespace {
+
+ConZoneConfig MediaConfig(CellType cell) {
+  ConZoneConfig cfg = ConZoneConfig::PaperConfig();
+  if (cell == CellType::kQlc) {
+    cfg.geometry.normal_cell = CellType::kQlc;
+    cfg.geometry.program_unit = 64 * kKiB;  // §III-B QLC one-shot
+    cfg.geometry.pages_per_block = 256;     // 4 MiB blocks, 16 MiB zones
+    cfg.geometry.blocks_per_chip = 108;
+  }
+  return cfg;
+}
+
+void MediaSeqWrite(::benchmark::State& state, CellType cell) {
+  for (auto _ : state) {
+    auto dev = MakeConZone(MediaConfig(cell));
+    const RunResult r =
+        MustRun(*dev, SeqJobs(*dev, IoDirection::kWrite, 1, 64 * kMiB));
+    state.counters["MiBps"] = r.MiBps();
+    state.counters["patch_runs"] = static_cast<double>(dev->stats().patch_runs);
+    ExportLatency(state, r);
+  }
+}
+
+void MediaSeqRead(::benchmark::State& state, CellType cell) {
+  for (auto _ : state) {
+    auto dev = MakeConZone(MediaConfig(cell));
+    const SimTime t = MustPrecondition(*dev, 0, 64 * kMiB);
+    const RunResult r =
+        MustRun(*dev, SeqJobs(*dev, IoDirection::kRead, 1, 64 * kMiB), t);
+    state.counters["MiBps"] = r.MiBps();
+    ExportLatency(state, r);
+  }
+}
+
+void MediaRandRead(::benchmark::State& state, CellType cell) {
+  for (auto _ : state) {
+    auto dev = MakeConZone(MediaConfig(cell));
+    const SimTime t = MustPrecondition(*dev, 0, 64 * kMiB);
+    JobSpec job;
+    job.direction = IoDirection::kRead;
+    job.pattern = IoPattern::kRandom;
+    job.block_size = 4096;
+    job.region_size = 64 * kMiB;
+    job.io_count = 10000;
+    const RunResult r = MustRun(*dev, {job}, t);
+    state.counters["KIOPS"] = r.Kiops();
+    ExportLatency(state, r);
+  }
+}
+
+}  // namespace
+}  // namespace conzone::bench
+
+using namespace conzone::bench;
+using namespace conzone;
+
+BENCHMARK_CAPTURE(MediaSeqWrite, TLC, CellType::kTlc)->Iterations(1);
+BENCHMARK_CAPTURE(MediaSeqWrite, QLC, CellType::kQlc)->Iterations(1);
+BENCHMARK_CAPTURE(MediaSeqRead, TLC, CellType::kTlc)->Iterations(1);
+BENCHMARK_CAPTURE(MediaSeqRead, QLC, CellType::kQlc)->Iterations(1);
+BENCHMARK_CAPTURE(MediaRandRead, TLC, CellType::kTlc)->Iterations(1);
+BENCHMARK_CAPTURE(MediaRandRead, QLC, CellType::kQlc)->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Ablation: read-path design knobs beyond Fig. 7/8.
+//
+//   1. L2P cache size sweep for page vs hybrid mapping at a fixed 64 MiB
+//      read range — generalizes Fig. 7's single 12 KiB point and shows
+//      hybrid mapping buying back an order of magnitude of SRAM.
+//   2. Where the mapping table lives (SLC vs TLC metadata pages): the
+//      miss penalty of the §III-C fetch path.
+#include "bench_common.hpp"
+
+namespace conzone::bench {
+namespace {
+
+constexpr std::uint64_t kRange = 64 * kMiB;
+constexpr std::uint64_t kIoCount = 10000;
+
+double RandReadKiops(ConZoneDevice& dev, double* miss_pct) {
+  const SimTime ready = MustPrecondition(dev, 0, kRange);
+  JobSpec job;
+  job.direction = IoDirection::kRead;
+  job.pattern = IoPattern::kRandom;
+  job.block_size = 4096;
+  job.region_size = kRange;
+  job.io_count = kIoCount / 4;
+  job.seed = 99;
+  const RunResult warm = MustRun(dev, {job}, ready);
+  dev.ResetStats();
+  job.io_count = kIoCount;
+  job.seed = 1;
+  const RunResult r = MustRun(dev, {job}, warm.end_time);
+  if (miss_pct) *miss_pct = dev.L2pMissRate() * 100.0;
+  return r.Kiops();
+}
+
+void L2pCacheSize(::benchmark::State& state, bool hybrid, std::uint64_t bytes) {
+  for (auto _ : state) {
+    ConZoneConfig cfg = ConZoneConfig::PaperConfig();
+    cfg.translator.hybrid = hybrid;
+    cfg.l2p.capacity_bytes = bytes;
+    auto dev = MakeConZone(cfg);
+    double miss = 0;
+    state.counters["KIOPS"] = RandReadKiops(*dev, &miss);
+    state.counters["miss_pct"] = miss;
+  }
+}
+
+void MapMedia(::benchmark::State& state, CellType media) {
+  for (auto _ : state) {
+    ConZoneConfig cfg = ConZoneConfig::PaperConfig();
+    cfg.translator.hybrid = false;  // page mapping: every miss fetches
+    cfg.map_media = media;
+    auto dev = MakeConZone(cfg);
+    double miss = 0;
+    state.counters["KIOPS"] = RandReadKiops(*dev, &miss);
+    state.counters["miss_pct"] = miss;
+  }
+}
+
+}  // namespace
+}  // namespace conzone::bench
+
+using namespace conzone::bench;
+using namespace conzone;
+
+BENCHMARK_CAPTURE(L2pCacheSize, Page_3KiB, false, 3 * kKiB)->Iterations(1);
+BENCHMARK_CAPTURE(L2pCacheSize, Page_12KiB, false, 12 * kKiB)->Iterations(1);
+BENCHMARK_CAPTURE(L2pCacheSize, Page_48KiB, false, 48 * kKiB)->Iterations(1);
+BENCHMARK_CAPTURE(L2pCacheSize, Page_192KiB, false, 192 * kKiB)->Iterations(1);
+BENCHMARK_CAPTURE(L2pCacheSize, Hybrid_3KiB, true, 3 * kKiB)->Iterations(1);
+BENCHMARK_CAPTURE(L2pCacheSize, Hybrid_12KiB, true, 12 * kKiB)->Iterations(1);
+BENCHMARK_CAPTURE(L2pCacheSize, Hybrid_48KiB, true, 48 * kKiB)->Iterations(1);
+BENCHMARK_CAPTURE(L2pCacheSize, Hybrid_192KiB, true, 192 * kKiB)->Iterations(1);
+
+BENCHMARK_CAPTURE(MapMedia, MapInSLC, CellType::kSlc)->Iterations(1);
+BENCHMARK_CAPTURE(MapMedia, MapInTLC, CellType::kTlc)->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Ablation: write-path resource sizing.
+//
+// Two sweeps over the design choices DESIGN.md calls out:
+//   1. Number of shared write buffers (1..6) under four concurrent
+//      48 KiB zone writers — quantifies §I's claim that the limited
+//      buffer pool, not the host pattern, creates premature flushes.
+//   2. SLC region size under conflict-heavy rewrite traffic — the
+//      capacity/tail-latency trade of the secondary write buffer.
+#include "bench_common.hpp"
+
+namespace conzone::bench {
+namespace {
+
+void WriteBufferCount(::benchmark::State& state, std::uint32_t num_buffers) {
+  for (auto _ : state) {
+    ConZoneConfig cfg = ConZoneConfig::PaperConfig();
+    cfg.buffers.num_buffers = num_buffers;
+    auto dev = MakeConZone(cfg);
+    std::vector<JobSpec> jobs;
+    for (std::uint64_t j = 0; j < 4; ++j) {
+      JobSpec s;
+      s.name = "w" + std::to_string(j);
+      s.direction = IoDirection::kWrite;
+      s.block_size = 48 * kKiB;
+      s.zone_list = {j};
+      s.io_count = CeilDiv(dev->info().zone_size_bytes, s.block_size);
+      s.seed = j + 1;
+      jobs.push_back(std::move(s));
+    }
+    const RunResult r = MustRun(*dev, jobs);
+    state.counters["MiBps"] = r.MiBps();
+    state.counters["WAF"] = dev->WriteAmplification();
+    state.counters["premature_flushes"] =
+        static_cast<double>(dev->stats().premature_flushes);
+    ExportLatency(state, r);
+  }
+}
+
+void SlcRegionSize(::benchmark::State& state, std::uint32_t slc_blocks) {
+  for (auto _ : state) {
+    ConZoneConfig cfg = ConZoneConfig::PaperConfig();
+    cfg.geometry.slc_blocks_per_chip = slc_blocks;
+    cfg.geometry.blocks_per_chip = 40 + slc_blocks;  // constant normal region
+    auto dev = MakeConZone(cfg);
+    std::vector<JobSpec> jobs;
+    for (int j = 0; j < 2; ++j) {
+      JobSpec s;
+      s.name = "w" + std::to_string(j);
+      s.direction = IoDirection::kWrite;
+      s.block_size = 48 * kKiB;
+      s.zone_list = {j == 0 ? 0ull : 2ull};  // same-parity conflict pair
+      s.io_count = 4 * CeilDiv(dev->info().zone_size_bytes, s.block_size);
+      s.reset_zones_on_wrap = true;
+      s.seed = static_cast<std::uint64_t>(j) + 1;
+      jobs.push_back(std::move(s));
+    }
+    const RunResult r = MustRun(*dev, jobs);
+    state.counters["MiBps"] = r.MiBps();
+    state.counters["gc_runs"] = static_cast<double>(dev->gc().stats().runs);
+    state.counters["gc_busy_ms"] = dev->gc().stats().busy_time.ms();
+    ExportLatency(state, r);
+  }
+}
+
+/// §III-E extension: cost of persisting mapping updates through the L2P
+/// log, whose flush-back blocks host requests.
+void L2pLogCost(::benchmark::State& state, bool enabled) {
+  for (auto _ : state) {
+    ConZoneConfig cfg = ConZoneConfig::PaperConfig();
+    cfg.l2p_log.enabled = enabled;
+    auto dev = MakeConZone(cfg);
+    const RunResult r =
+        MustRun(*dev, SeqJobs(*dev, IoDirection::kWrite, 1, 128 * kMiB));
+    state.counters["MiBps"] = r.MiBps();
+    state.counters["log_flushes"] =
+        static_cast<double>(dev->l2p_log().stats().flushes);
+    ExportLatency(state, r);
+  }
+}
+
+}  // namespace
+}  // namespace conzone::bench
+
+using namespace conzone::bench;
+
+BENCHMARK_CAPTURE(WriteBufferCount, buffers_1, 1)->Iterations(1);
+BENCHMARK_CAPTURE(WriteBufferCount, buffers_2, 2)->Iterations(1);
+BENCHMARK_CAPTURE(WriteBufferCount, buffers_3, 3)->Iterations(1);
+BENCHMARK_CAPTURE(WriteBufferCount, buffers_4, 4)->Iterations(1);
+BENCHMARK_CAPTURE(WriteBufferCount, buffers_6, 6)->Iterations(1);
+
+BENCHMARK_CAPTURE(SlcRegionSize, slc_3, 3)->Iterations(1);
+BENCHMARK_CAPTURE(SlcRegionSize, slc_6, 6)->Iterations(1);
+BENCHMARK_CAPTURE(SlcRegionSize, slc_12, 12)->Iterations(1);
+
+BENCHMARK_CAPTURE(L2pLogCost, L2pLog_off, false)->Iterations(1);
+BENCHMARK_CAPTURE(L2pLogCost, L2pLog_on, true)->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+// Shared helpers for the benchmark harness.
+//
+// Every binary in bench/ regenerates one table or figure of the paper's
+// evaluation (§IV). The benches run the same FIO-style micro-workloads
+// the authors used, entirely in simulated time; google-benchmark provides
+// the runner/reporting, and the simulated metrics (bandwidth, KIOPS,
+// tail latency, write amplification) are exported as user counters.
+//
+// ZMS reference series: the paper compares against numbers published for
+// real hardware (ZMS, USENIX ATC'24, SM8350 + UFS). We do not have that
+// hardware; the constants below are *illustrative reference points*
+// chosen to satisfy the relative claims the paper makes in §IV-B
+// (ConZone write ≈ ZMS; ConZone MT read ≈ ZMS, ST read lower; FEMU write
+// slightly above ZMS; FEMU reads far slower). EXPERIMENTS.md records how
+// each measured shape compares.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "conzone/conzone.hpp"
+
+namespace conzone::bench {
+
+// --- ZMS reference points (MiB/s), §IV-B Fig. 6(a) ---
+inline constexpr double kZmsSeqWriteSt = 398.0;
+inline constexpr double kZmsSeqWriteMt = 400.0;
+inline constexpr double kZmsSeqReadSt = 1100.0;
+inline constexpr double kZmsSeqReadMt = 1900.0;
+
+inline std::unique_ptr<ConZoneDevice> MakeConZone(
+    const ConZoneConfig& cfg = ConZoneConfig::PaperConfig()) {
+  auto dev = ConZoneDevice::Create(cfg);
+  if (!dev.ok()) {
+    std::fprintf(stderr, "ConZone create failed: %s\n", dev.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(dev).value();
+}
+
+inline std::unique_ptr<LegacyDevice> MakeLegacy(const LegacyConfig& cfg = LegacyConfig{}) {
+  auto dev = LegacyDevice::Create(cfg);
+  if (!dev.ok()) {
+    std::fprintf(stderr, "Legacy create failed: %s\n", dev.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(dev).value();
+}
+
+inline std::unique_ptr<FemuModelDevice> MakeFemu(const FemuConfig& cfg = FemuConfig{}) {
+  auto dev = FemuModelDevice::Create(cfg);
+  if (!dev.ok()) {
+    std::fprintf(stderr, "FEMU create failed: %s\n", dev.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(dev).value();
+}
+
+/// `jobs` sequential-I/O workers with disjoint `zones_per_job`-zone
+/// regions, 512 KiB blocks (the §IV-B micro-benchmark).
+inline std::vector<JobSpec> SeqJobs(const StorageDevice& dev, IoDirection dir, int jobs,
+                                    std::uint64_t bytes_per_job,
+                                    std::uint64_t block = 512 * kKiB) {
+  const DeviceInfo di = dev.info();
+  // Region stride aligned to zones when the device has them. Use an odd
+  // zone count so concurrent jobs progress through zones of alternating
+  // parity: with the modulo zone-buffer mapping, an even stride would
+  // pin every job to the same buffer in lockstep — an adversarial
+  // placement the conflict experiment (Fig. 6b) constructs on purpose,
+  // not something a filesystem does for plain sequential streams.
+  std::uint64_t stride = bytes_per_job;
+  if (di.zone_size_bytes) {
+    std::uint64_t zones = CeilDiv(stride, di.zone_size_bytes);
+    if (jobs > 1 && zones % 2 == 0) ++zones;
+    stride = zones * di.zone_size_bytes;
+  }
+  std::vector<JobSpec> out;
+  for (int j = 0; j < jobs; ++j) {
+    JobSpec s;
+    s.name = (dir == IoDirection::kWrite ? "write" : "read") + std::to_string(j);
+    s.direction = dir;
+    s.pattern = IoPattern::kSequential;
+    s.block_size = block;
+    s.region_offset = static_cast<std::uint64_t>(j) * stride;
+    s.region_size = bytes_per_job;
+    s.io_count = CeilDiv(bytes_per_job, block);
+    s.seed = static_cast<std::uint64_t>(j) + 1;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// Run jobs and abort the bench on error (benches must not silently
+/// report nonsense).
+inline RunResult MustRun(StorageDevice& dev, const std::vector<JobSpec>& jobs,
+                         SimTime start = SimTime::Zero()) {
+  FioRunner fio(dev);
+  auto res = fio.Run(jobs, start);
+  if (!res.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n", res.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(res).value();
+}
+
+/// Sequentially precondition [offset, offset+size) and return the sim
+/// time when the device is idle again.
+inline SimTime MustPrecondition(StorageDevice& dev, std::uint64_t offset,
+                                std::uint64_t size) {
+  SimTime t;
+  Status st = FioRunner::Precondition(dev, offset, size, 512 * kKiB, &t);
+  if (!st.ok()) {
+    std::fprintf(stderr, "precondition failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  return t;
+}
+
+/// Standard latency counters for a run.
+inline void ExportLatency(::benchmark::State& state, const RunResult& r) {
+  state.counters["lat_mean_us"] = r.latency.mean().us();
+  state.counters["lat_p99_us"] = r.latency.Percentile(0.99).us();
+  state.counters["lat_p999_us"] = r.latency.Percentile(0.999).us();
+}
+
+}  // namespace conzone::bench

@@ -1,0 +1,59 @@
+// Fig. 6(b): the cost of write-buffer conflicts (§IV-C).
+//
+// The paper's test: odd and even zones map to the two write buffers
+// (the modulo rule); two threads each write one zone with 48 KiB
+// requests — small enough that every buffer eviction is a premature
+// flush. When the two zones have the same parity they fight over one
+// buffer (conflict); opposite parity gives each thread its own buffer.
+//
+// Paper shape: conflict-free bandwidth ~65% higher than conflicting;
+// write amplification ~24% lower (the conflict path detours half the
+// data through SLC partial programming and folds it back later).
+#include "bench_common.hpp"
+
+namespace conzone::bench {
+namespace {
+
+RunResult RunPair(ConZoneDevice& dev, std::uint64_t zone_a, std::uint64_t zone_b) {
+  std::vector<JobSpec> jobs;
+  for (int j = 0; j < 2; ++j) {
+    JobSpec s;
+    s.name = "writer" + std::to_string(j);
+    s.direction = IoDirection::kWrite;
+    s.pattern = IoPattern::kSequential;
+    s.block_size = 48 * kKiB;
+    s.zone_list = {j == 0 ? zone_a : zone_b};
+    s.io_count = CeilDiv(dev.info().zone_size_bytes, s.block_size);
+    s.seed = static_cast<std::uint64_t>(j) + 1;
+    jobs.push_back(std::move(s));
+  }
+  return MustRun(dev, jobs);
+}
+
+void BufferConflict(::benchmark::State& state, bool conflict) {
+  for (auto _ : state) {
+    auto dev = MakeConZone();
+    // Same parity (zones 0 and 2) shares write buffer 0; opposite parity
+    // (zones 0 and 1) uses both buffers.
+    const RunResult r = RunPair(*dev, 0, conflict ? 2 : 1);
+    state.counters["MiBps"] = r.MiBps();
+    state.counters["WAF"] = dev->WriteAmplification();
+    state.counters["premature_flushes"] =
+        static_cast<double>(dev->stats().premature_flushes);
+    state.counters["conflict_flushes"] =
+        static_cast<double>(dev->stats().conflict_flushes);
+    state.counters["fold_slots_read"] =
+        static_cast<double>(dev->stats().fold_slots_read);
+    ExportLatency(state, r);
+  }
+}
+
+}  // namespace
+}  // namespace conzone::bench
+
+using namespace conzone::bench;
+
+BENCHMARK_CAPTURE(BufferConflict, SameParity_Conflict, true)->Iterations(1);
+BENCHMARK_CAPTURE(BufferConflict, OppositeParity_NoConflict, false)->Iterations(1);
+
+BENCHMARK_MAIN();

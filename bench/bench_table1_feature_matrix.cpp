@@ -1,0 +1,83 @@
+// Table I: feature matrix of zoned flash storage emulators.
+//
+// The paper's comparison is qualitative; this bench regenerates it
+// *executably*: each capability row is demonstrated by poking the actual
+// device models in this repository, rather than asserted in prose. The
+// FEMU/ConfZNS/NVMeVirt columns reflect the upstream tools as reported
+// in the paper; the FEMU column is additionally backed by this repo's
+// behavioral FEMU model.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace conzone;
+using namespace conzone::bench;
+
+namespace {
+
+// Executable capability probes against ConZone.
+bool ProbeLowLatencyMedia() {
+  // SLC reads must come back an order of magnitude under KVM-jitter
+  // scale: 4 KiB staged read ~ tens of us.
+  auto dev = MakeConZone();
+  SimTime t;
+  t = dev->Write(0, 4096, t).value();
+  t = dev->Flush(t).value();  // 4 KiB lands in SLC (premature)
+  const SimTime r0 = t;
+  const SimTime r1 = dev->Read(0, 4096, r0).value();
+  return (r1 - r0).us() < 100.0 &&
+         dev->media_counters().slots_programmed_slc == 1;
+}
+
+bool ProbeHeterogeneousMedia() {
+  // Premature flush -> SLC; full superpage -> TLC. Both media in one run.
+  auto dev = MakeConZone();
+  SimTime t;
+  t = dev->Write(0, 48 * kKiB, t).value();
+  t = dev->Write(2 * dev->info().zone_size_bytes, 4096, t).value();  // conflict
+  t = dev->Write(dev->info().zone_size_bytes, 384 * kKiB, t).value();
+  return dev->media_counters().slots_programmed_slc > 0 &&
+         dev->media_counters().slots_programmed_normal > 0;
+}
+
+bool ProbeWriteBuffers() {
+  auto dev = MakeConZone();
+  return dev->config().buffers.num_buffers == 2 &&
+         dev->buffers().SlotCapacity() * 4096 == 384 * kKiB;
+}
+
+bool ProbeL2pCache() {
+  auto dev = MakeConZone();
+  return dev->l2p_cache().max_entries() == 3072;  // 12 KiB / 4 B
+}
+
+bool ProbeHybridMapping() {
+  auto dev = MakeConZone();
+  SimTime t;
+  for (std::uint64_t off = 0; off < dev->info().zone_size_bytes; off += 512 * kKiB) {
+    t = dev->Write(off, 512 * kKiB, t).value();
+  }
+  return dev->mapping().Get(Lpn{0}).gran == MapGranularity::kZone;
+}
+
+void Row(const char* feature, const char* femu, const char* confzns,
+         const char* nvmevirt, bool conzone_probe, const char* conzone_label) {
+  std::printf("| %-19s | %-9s | %-7s | %-8s | %-7s |\n", feature, femu, confzns,
+              nvmevirt, conzone_probe ? conzone_label : "PROBE-FAILED");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table I: existing zoned flash storage emulators and ConZone\n");
+  std::printf("(ConZone column verified by executable probes against this build)\n\n");
+  std::printf("| %-19s | %-9s | %-7s | %-8s | %-7s |\n", "", "FEMU", "ConfZNS",
+              "NVMeVirt", "ConZone");
+  std::printf("|---------------------|-----------|---------|----------|---------|\n");
+  Row("Low-latency media", "No", "No", "Yes", ProbeLowLatencyMedia(), "Yes");
+  Row("Heterogeneous media", "No", "No", "No", ProbeHeterogeneousMedia(), "Yes");
+  Row("# of write buffers", "Yes", "No", "No", ProbeWriteBuffers(), "Yes");
+  Row("L2P cache", "No", "No", "No", ProbeL2pCache(), "Yes");
+  Row("L2P mapping", "No", "Zone", "No", ProbeHybridMapping(), "Hybrid");
+  return 0;
+}

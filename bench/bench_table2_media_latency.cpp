@@ -1,0 +1,59 @@
+// Table II: access latency of the heterogeneous media in ConZone.
+//
+// Regenerates the paper's latency table by timing single program/read
+// operations of each cell type through the actual timing engine on an
+// otherwise idle device (transfer excluded, to match the cited
+// media-only figures):
+//
+//              SLC     TLC       QLC
+//   Program    75us    937.5us   6400us
+//   Read       20us    32us      85us
+#include "bench_common.hpp"
+
+namespace conzone::bench {
+namespace {
+
+FlashGeometry GeometryFor(CellType cell) {
+  FlashGeometry geo;  // paper defaults
+  geo.normal_cell = cell == CellType::kSlc ? CellType::kTlc : cell;
+  if (cell == CellType::kQlc) geo.program_unit = 64 * kKiB;  // §III-B
+  return geo;
+}
+
+void MediaProgram(::benchmark::State& state, CellType cell) {
+  for (auto _ : state) {
+    const FlashGeometry geo = GeometryFor(cell);
+    TimingConfig timing;
+    timing.channel_bandwidth_bps = 0;  // isolate the media pulse
+    FlashTimingEngine engine(geo, timing);
+    const std::uint64_t bytes = cell == CellType::kSlc ? geo.slot_size : geo.program_unit;
+    const auto r = engine.Program(ChipId{0}, cell, bytes, SimTime::Zero());
+    state.counters["latency_us"] = (r.end - SimTime::Zero()).us();
+  }
+}
+
+void MediaRead(::benchmark::State& state, CellType cell) {
+  for (auto _ : state) {
+    const FlashGeometry geo = GeometryFor(cell);
+    TimingConfig timing;
+    timing.channel_bandwidth_bps = 0;
+    FlashTimingEngine engine(geo, timing);
+    const SimTime r = engine.ReadPage(ChipId{0}, cell, geo.page_size, SimTime::Zero());
+    state.counters["latency_us"] = (r - SimTime::Zero()).us();
+  }
+}
+
+}  // namespace
+}  // namespace conzone::bench
+
+using namespace conzone::bench;
+using namespace conzone;
+
+BENCHMARK_CAPTURE(MediaProgram, SLC, CellType::kSlc)->Iterations(1);
+BENCHMARK_CAPTURE(MediaProgram, TLC, CellType::kTlc)->Iterations(1);
+BENCHMARK_CAPTURE(MediaProgram, QLC, CellType::kQlc)->Iterations(1);
+BENCHMARK_CAPTURE(MediaRead, SLC, CellType::kSlc)->Iterations(1);
+BENCHMARK_CAPTURE(MediaRead, TLC, CellType::kTlc)->Iterations(1);
+BENCHMARK_CAPTURE(MediaRead, QLC, CellType::kQlc)->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Read-range study: a finer-grained version of the paper's Fig. 7 case
+// study (§IV-D) — 4 KiB random-read performance as the read range grows,
+// under page mapping vs hybrid mapping and across L2P cache sizes.
+//
+// The crossover this reproduces: page mapping collapses once the range
+// outgrows the cache's page-entry coverage (cache_entries x 4 KiB),
+// while hybrid mapping stays flat because completed zones cost one
+// entry each.
+//
+//   ./build/examples/read_range_study
+#include <cstdio>
+
+#include "conzone/conzone.hpp"
+
+using namespace conzone;
+
+namespace {
+
+double MeasureKiops(bool hybrid, std::uint64_t l2p_bytes, std::uint64_t range) {
+  ConZoneConfig cfg = ConZoneConfig::PaperConfig();
+  cfg.translator.hybrid = hybrid;
+  cfg.l2p.capacity_bytes = l2p_bytes;
+  auto dev = ConZoneDevice::Create(cfg);
+  if (!dev.ok()) {
+    std::fprintf(stderr, "create: %s\n", dev.status().ToString().c_str());
+    std::exit(1);
+  }
+  ConZoneDevice& d = **dev;
+  SimTime t;
+  if (!FioRunner::Precondition(d, 0, range, 512 * kKiB, &t).ok()) std::exit(1);
+
+  FioRunner fio(d);
+  JobSpec job;
+  job.direction = IoDirection::kRead;
+  job.pattern = IoPattern::kRandom;
+  job.block_size = 4096;
+  job.region_size = range;
+  job.io_count = 3000;  // warm-up
+  job.seed = 99;
+  auto warm = fio.Run({job}, t);
+  if (!warm.ok()) std::exit(1);
+  job.io_count = 10000;
+  job.seed = 1;
+  auto r = fio.Run({job}, warm.value().end_time);
+  if (!r.ok()) {
+    std::fprintf(stderr, "run: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return r.value().Kiops();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Read-range study: 4 KiB random read KIOPS by mapping mechanism\n\n");
+  const std::uint64_t ranges[] = {1 * kMiB, 4 * kMiB, 16 * kMiB, 64 * kMiB,
+                                  256 * kMiB, 1 * kGiB};
+  const std::uint64_t cache_sizes[] = {6 * kKiB, 12 * kKiB, 24 * kKiB};
+
+  std::printf("%-8s", "range");
+  for (std::uint64_t c : cache_sizes) {
+    std::printf(" | page %2lluK  hyb %2lluK", static_cast<unsigned long long>(c / 1024),
+                static_cast<unsigned long long>(c / 1024));
+  }
+  std::printf("\n");
+  for (std::uint64_t range : ranges) {
+    if (range >= kGiB) {
+      std::printf("%5lluGiB ", static_cast<unsigned long long>(range / kGiB));
+    } else {
+      std::printf("%5lluMiB ", static_cast<unsigned long long>(range / kMiB));
+    }
+    for (std::uint64_t c : cache_sizes) {
+      std::printf(" | %8.1f %8.1f", MeasureKiops(false, c, range),
+                  MeasureKiops(true, c, range));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nEach page-mapping column collapses past its coverage knee\n"
+      "(entries x 4 KiB = cache_bytes/4 x 4 KiB of range); the hybrid\n"
+      "columns stay flat at every cache size because zone aggregation\n"
+      "needs one entry per 16 MiB (§IV-D).\n");
+  return 0;
+}

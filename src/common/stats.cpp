@@ -1,0 +1,89 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace conzone {
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBands * kSubBuckets, 0) {}
+
+int LatencyHistogram::BucketIndex(std::uint64_t ns) {
+  // Values below kSubBuckets land in band 0 linearly.
+  if (ns < kSubBuckets) return static_cast<int>(ns);
+  const int msb = 63 - std::countl_zero(ns);
+  const int band = msb - kSubBucketBits + 1;
+  const int sub = static_cast<int>((ns >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+  int idx = band * kSubBuckets + sub;
+  const int last = kBands * kSubBuckets - 1;
+  return std::min(idx, last);
+}
+
+std::uint64_t LatencyHistogram::BucketUpperEdge(int index) {
+  const int band = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  if (band == 0) return static_cast<std::uint64_t>(sub);
+  const int shift = band - 1;
+  // Band b (b>=1) spans [2^(b+5), 2^(b+6)) split into 64 pieces.
+  const std::uint64_t base = (static_cast<std::uint64_t>(kSubBuckets) + static_cast<std::uint64_t>(sub)) << shift;
+  const std::uint64_t width = 1ull << shift;
+  return base + width - 1;
+}
+
+void LatencyHistogram::Record(SimDuration d) {
+  const std::uint64_t ns = d.ns();
+  buckets_[static_cast<std::size_t>(BucketIndex(ns))]++;
+  count_++;
+  sum_ns_ += ns;
+  if (d < min_) min_ = d;
+  if (d > max_) max_ = d;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+  if (other.count_ > 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ns_ = 0;
+  min_ = SimDuration::Nanos(~0ull);
+  max_ = SimDuration();
+}
+
+SimDuration LatencyHistogram::Percentile(double q) const {
+  if (count_ == 0) return SimDuration();
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Exact min/max beat bucket edges at the extremes.
+      std::uint64_t edge = BucketUpperEdge(static_cast<int>(i));
+      edge = std::min(edge, max_.ns());
+      edge = std::max(edge, min_.ns());
+      return SimDuration::Nanos(edge);
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus p99.9=%.1fus max=%.1fus",
+                static_cast<unsigned long long>(count_), mean().us(),
+                Percentile(0.50).us(), Percentile(0.95).us(), Percentile(0.99).us(),
+                Percentile(0.999).us(), max().us());
+  return buf;
+}
+
+}  // namespace conzone

@@ -1,0 +1,95 @@
+// Minimal Status / Result error-handling vocabulary.
+//
+// The emulator is exception-free on its hot paths: device operations
+// return `Status` or `Result<T>` so callers (the workload runner, tests)
+// can branch on error codes the way a block layer branches on errno.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace conzone {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed request (misaligned, bad id).
+  kOutOfRange,        ///< Address beyond the device or zone capacity.
+  kFailedPrecondition,///< Operation illegal in current state (e.g. zone FULL).
+  kResourceExhausted, ///< No free blocks / buffers / open-zone slots.
+  kUnimplemented,
+  kInternal,          ///< Emulator invariant violation (a bug).
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+template <class T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result from OK status must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace conzone

@@ -1,0 +1,26 @@
+#include "common/time.hpp"
+
+#include <cstdio>
+
+namespace conzone {
+
+namespace {
+std::string FormatNs(std::uint64_t ns) {
+  char buf[64];
+  if (ns < 1000ull) {
+    std::snprintf(buf, sizeof(buf), "%lluns", static_cast<unsigned long long>(ns));
+  } else if (ns < 1000000ull) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 1000000000ull) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string SimDuration::ToString() const { return FormatNs(ns_); }
+std::string SimTime::ToString() const { return FormatNs(ns_); }
+
+}  // namespace conzone

@@ -1,0 +1,75 @@
+// Simulated time.
+//
+// The emulator is a discrete-event simulation: nothing here reads wall
+// clocks. `SimTime` is an absolute instant on the simulated timeline and
+// `SimDuration` a signed-free span; both count nanoseconds in uint64_t,
+// which covers ~584 years of simulated time.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace conzone {
+
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  static constexpr SimDuration Nanos(std::uint64_t ns) { return SimDuration(ns); }
+  static constexpr SimDuration Micros(std::uint64_t us) { return SimDuration(us * 1000); }
+  static constexpr SimDuration Millis(std::uint64_t ms) { return SimDuration(ms * 1000000); }
+  static constexpr SimDuration Seconds(std::uint64_t s) { return SimDuration(s * 1000000000); }
+  /// Fractional-microsecond constructor (e.g. TLC tPROG = 937.5 us).
+  static constexpr SimDuration MicrosF(double us) {
+    return SimDuration(static_cast<std::uint64_t>(us * 1000.0 + 0.5));
+  }
+
+  constexpr std::uint64_t ns() const { return ns_; }
+  constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+  constexpr SimDuration operator+(SimDuration o) const { return SimDuration(ns_ + o.ns_); }
+  constexpr SimDuration operator-(SimDuration o) const { return SimDuration(ns_ - o.ns_); }
+  constexpr SimDuration operator*(std::uint64_t k) const { return SimDuration(ns_ * k); }
+  constexpr SimDuration operator/(std::uint64_t k) const { return SimDuration(ns_ / k); }
+  constexpr SimDuration& operator+=(SimDuration o) { ns_ += o.ns_; return *this; }
+  constexpr SimDuration& operator-=(SimDuration o) { ns_ -= o.ns_; return *this; }
+
+  std::string ToString() const;
+
+ private:
+  constexpr explicit SimDuration(std::uint64_t ns) : ns_(ns) {}
+  std::uint64_t ns_ = 0;
+};
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime FromNanos(std::uint64_t ns) { return SimTime(ns); }
+  static constexpr SimTime Zero() { return SimTime(0); }
+  static constexpr SimTime Max() { return SimTime(~0ull); }
+
+  constexpr std::uint64_t ns() const { return ns_; }
+  constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(SimDuration d) const { return SimTime(ns_ + d.ns()); }
+  constexpr SimTime& operator+=(SimDuration d) { ns_ += d.ns(); return *this; }
+  constexpr SimDuration operator-(SimTime o) const {
+    return SimDuration::Nanos(ns_ - o.ns_);
+  }
+
+  std::string ToString() const;
+
+ private:
+  constexpr explicit SimTime(std::uint64_t ns) : ns_(ns) {}
+  std::uint64_t ns_ = 0;
+};
+
+/// Later of two instants — the workhorse of busy-until resource scheduling.
+constexpr SimTime Later(SimTime a, SimTime b) { return a < b ? b : a; }
+
+}  // namespace conzone

@@ -1,0 +1,43 @@
+// Size and time units used throughout ConZone.
+//
+// All byte quantities in the emulator are expressed in plain uint64_t with
+// the named constants below; all simulated time is expressed with the
+// strong types in time.hpp.
+#pragma once
+
+#include <cstdint>
+
+namespace conzone {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ull * kGiB;
+
+namespace literals {
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * kGiB; }
+
+}  // namespace literals
+
+/// Integer ceiling division for non-negative quantities.
+constexpr std::uint64_t CeilDiv(std::uint64_t num, std::uint64_t den) {
+  return (num + den - 1) / den;
+}
+
+/// True iff `v` is a power of two (zero is not).
+constexpr bool IsPowerOfTwo(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Round `v` up to the next multiple of `align` (align > 0).
+constexpr std::uint64_t RoundUp(std::uint64_t v, std::uint64_t align) {
+  return CeilDiv(v, align) * align;
+}
+
+/// Round `v` down to the previous multiple of `align` (align > 0).
+constexpr std::uint64_t RoundDown(std::uint64_t v, std::uint64_t align) {
+  return (v / align) * align;
+}
+
+}  // namespace conzone

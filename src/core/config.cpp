@@ -1,0 +1,62 @@
+#include "core/config.hpp"
+
+#include "core/zone_layout.hpp"
+
+namespace conzone {
+
+std::uint32_t ConZoneConfig::EffectiveConventionalSuperblocks() const {
+  if (num_conventional_zones == 0) return 0;
+  if (conventional_superblocks != 0) return conventional_superblocks;
+  const std::uint64_t needed = CeilDiv(
+      static_cast<std::uint64_t>(num_conventional_zones) * zone_size_bytes,
+      geometry.NormalSuperblockBytes());
+  return static_cast<std::uint32_t>(needed) + 2;  // GC headroom
+}
+
+Status ConZoneConfig::Validate() const {
+  if (Status st = geometry.Validate(); !st.ok()) return st;
+  if (Status st = buffers.Validate(); !st.ok()) return st;
+  if (Status st = gc.Validate(); !st.ok()) return st;
+  if (Status st = l2p_log.Validate(); !st.ok()) return st;
+  if (buffers.slot_bytes != geometry.slot_size) {
+    return Status::InvalidArgument("config: buffer slot size != geometry slot size");
+  }
+  const std::uint32_t conv_sbs = EffectiveConventionalSuperblocks();
+  if (num_conventional_zones > 0) {
+    const std::uint64_t capacity =
+        static_cast<std::uint64_t>(conv_sbs) * geometry.NormalSuperblockBytes();
+    const std::uint64_t logical =
+        static_cast<std::uint64_t>(num_conventional_zones) * zone_size_bytes;
+    if (capacity < logical + 2 * geometry.NormalSuperblockBytes()) {
+      return Status::InvalidArgument(
+          "config: conventional pool too small for its zones plus GC headroom");
+    }
+  }
+  ZoneLayout layout(geometry, zone_size_bytes, superblocks_per_zone, conv_sbs);
+  if (Status st = layout.Validate(); !st.ok()) return st;
+  if (layout.patch_bytes() % geometry.slot_size != 0) {
+    return Status::InvalidArgument("config: patch region must be slot-aligned");
+  }
+  if (zone_size_bytes % (static_cast<std::uint64_t>(lpns_per_chunk) * geometry.slot_size) !=
+      0) {
+    return Status::InvalidArgument("config: zone size must be a whole number of chunks");
+  }
+  if (max_open_zones == 0 || max_active_zones < max_open_zones) {
+    return Status::InvalidArgument("config: need max_active >= max_open >= 1");
+  }
+  if (host_link_bandwidth_bps == 0) {
+    return Status::InvalidArgument("config: host link bandwidth must be > 0");
+  }
+  return Status::Ok();
+}
+
+ConZoneConfig ConZoneConfig::PaperConfig() {
+  // Defaults already encode §IV-A: TLC normal region, 2 channels x 2
+  // chips, 252-page blocks => 15.75 MiB natural superblock capacity,
+  // 16 MiB host-visible zones with a 256 KiB SLC patch, 96 KiB program
+  // unit, two 384 KiB write buffers, 12 KiB L2P cache, 3200 MiB/s
+  // channels, 1.5 GB flash.
+  return ConZoneConfig{};
+}
+
+}  // namespace conzone

@@ -1,0 +1,82 @@
+// ConZone device configuration and the paper's evaluation preset.
+#pragma once
+
+#include <cstdint>
+
+#include "buffer/write_buffer.hpp"
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "flash/geometry.hpp"
+#include "flash/timing.hpp"
+#include "ftl/l2p_cache.hpp"
+#include "ftl/l2p_log.hpp"
+#include "ftl/translator.hpp"
+#include "gc/slc_gc.hpp"
+
+namespace conzone {
+
+struct ConZoneConfig {
+  FlashGeometry geometry;
+  TimingConfig timing;
+
+  // --- Zones ---
+  /// Host-visible zone size. When larger than the data capacity of the
+  /// zone's reserved superblocks, the tail ("patched data", §III-E) is
+  /// written to SLC pages — the paper's workaround for TLC's
+  /// non-power-of-two natural zone sizes.
+  std::uint64_t zone_size_bytes = 16 * kMiB;
+  std::uint32_t superblocks_per_zone = 1;
+  std::uint32_t max_open_zones = 6;
+  std::uint32_t max_active_zones = 12;
+
+  // --- Write path ---
+  WriteBufferConfig buffers;
+
+  // --- Read path ---
+  L2pCacheConfig l2p;
+  TranslatorConfig translator;
+  /// Cap on aggregation level: kZone (full hybrid mapping) or kChunk
+  /// (§IV-C uses chunk-only for fairness against Legacy's prefetch).
+  MapGranularity max_aggregation = MapGranularity::kZone;
+  std::uint32_t lpns_per_chunk = 1024;  ///< 4 MiB chunks.
+  /// Media holding the L2P mapping table pages (miss fetch latency).
+  CellType map_media = CellType::kTlc;
+  /// Optional §III-E extension: persist mapping updates through an L2P
+  /// log whose flush-back blocks host requests. Off by default (the
+  /// paper defers this to future work).
+  L2pLogConfig l2p_log;
+
+  // --- Conventional zones (§III-E extension) ---
+  /// The first `num_conventional_zones` zones accept in-place updates —
+  /// the region F2FS needs for metadata. The paper leaves their design
+  /// open; this implementation backs them with a dynamically allocated
+  /// pool of normal superblocks (page-mapped, device-side GC) that sits
+  /// between the SLC region and the sequential zones' reservations, and
+  /// lets them share the write buffers and the SLC secondary buffer with
+  /// the sequential zones.
+  std::uint32_t num_conventional_zones = 0;
+  /// Physical superblocks backing the conventional zones (0 = auto:
+  /// capacity rounded up plus two superblocks of GC headroom).
+  std::uint32_t conventional_superblocks = 0;
+
+  /// Backing pool size after auto-sizing.
+  std::uint32_t EffectiveConventionalSuperblocks() const;
+
+  // --- Erase path ---
+  GcConfig gc;
+
+  // --- Host interface ---
+  /// Host-link (UFS) bandwidth for request payload transfer.
+  std::uint64_t host_link_bandwidth_bps = 4200 * kMiB;
+  /// Fixed firmware/submission overhead charged per request.
+  SimDuration request_overhead = SimDuration::Micros(15);
+
+  Status Validate() const;
+
+  /// The §IV-A evaluation configuration: TLC, 2 channels x 2 chips,
+  /// 96 KiB programming unit (=> 384 KiB superpage), two shared 384 KiB
+  /// write buffers, 1.5 GB flash, 12 KiB L2P cache, 3200 MiB/s channels.
+  static ConZoneConfig PaperConfig();
+};
+
+}  // namespace conzone

@@ -1,0 +1,1055 @@
+#include "core/device.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <unordered_map>
+
+namespace conzone {
+
+namespace {
+/// Default integrity token when the host does not supply payloads.
+std::uint64_t DefaultToken(Lpn lpn) { return 0xC0DE0000u ^ lpn.value(); }
+}  // namespace
+
+Result<std::unique_ptr<ConZoneDevice>> ConZoneDevice::Create(const ConZoneConfig& config) {
+  if (Status st = config.Validate(); !st.ok()) return st;
+  return std::unique_ptr<ConZoneDevice>(new ConZoneDevice(config));
+}
+
+ConZoneDevice::ConZoneDevice(const ConZoneConfig& config)
+    : cfg_([&] {
+        // Derive the FTL sub-configs from the top-level knobs so callers
+        // only state them once.
+        ConZoneConfig c = config;
+        c.l2p.lpns_per_chunk = c.lpns_per_chunk;
+        c.l2p.lpns_per_zone =
+            static_cast<std::uint32_t>(c.zone_size_bytes / c.geometry.slot_size);
+        c.buffers.slot_bytes = c.geometry.slot_size;
+        return c;
+      }()),
+      layout_(cfg_.geometry, cfg_.zone_size_bytes, cfg_.superblocks_per_zone,
+              cfg_.EffectiveConventionalSuperblocks()),
+      array_(cfg_.geometry),
+      engine_(cfg_.geometry, cfg_.timing),
+      pool_(cfg_.geometry, cfg_.EffectiveConventionalSuperblocks()),
+      slc_alloc_(array_, pool_),
+      buffers_(cfg_.buffers),
+      zones_(ZoneLimitsConfig{cfg_.zone_size_bytes, cfg_.zone_size_bytes,
+                              cfg_.num_conventional_zones + layout_.num_zones(),
+                              cfg_.max_open_zones, cfg_.max_active_zones}),
+      table_(MappingGeometry{
+          (cfg_.num_conventional_zones + layout_.num_zones()) *
+              (cfg_.zone_size_bytes / cfg_.geometry.slot_size),
+          cfg_.lpns_per_chunk,
+          static_cast<std::uint32_t>(cfg_.zone_size_bytes / cfg_.geometry.slot_size),
+          static_cast<std::uint32_t>(cfg_.geometry.page_size / 4)}),
+      cache_(cfg_.l2p),
+      translator_(table_, cache_, *this, cfg_.translator),
+      gc_(array_, engine_, pool_, slc_alloc_, cfg_.gc),
+      l2p_log_(cfg_.l2p_log),
+      conv_alloc_(array_, pool_) {
+  runtime_.resize(cfg_.num_conventional_zones + layout_.num_zones());
+  buffer_ready_.resize(cfg_.buffers.num_buffers, SimTime::Zero());
+  gc_.set_remap_hook(
+      [this](Lpn lpn, Ppn old_ppn, Ppn new_ppn) { OnGcRemap(lpn, old_ppn, new_ppn); });
+  if (cfg_.num_conventional_zones > 0) {
+    gc_.set_evict_hook(
+        [this](Lpn lpn) { return IsConventional(ZoneId{lpn.value() / LpnsPerZone()}); },
+        [this](std::vector<SlotWrite> slots, SimTime reads_done) {
+          return EvictConventionalFromSlc(std::move(slots), reads_done);
+        });
+  }
+}
+
+DeviceInfo ConZoneDevice::info() const {
+  DeviceInfo di;
+  di.name = "ConZone";
+  di.num_zones = cfg_.num_conventional_zones + layout_.num_zones();
+  di.capacity_bytes = static_cast<std::uint64_t>(di.num_zones) * cfg_.zone_size_bytes;
+  di.zone_size_bytes = cfg_.zone_size_bytes;
+  di.io_alignment = cfg_.geometry.slot_size;
+  return di;
+}
+
+SimDuration ConZoneDevice::HostTransferTime(std::uint64_t bytes) const {
+  const unsigned __int128 ns = static_cast<unsigned __int128>(bytes) * 1000000000ull /
+                               cfg_.host_link_bandwidth_bps;
+  return SimDuration::Nanos(static_cast<std::uint64_t>(ns));
+}
+
+Lpn ConZoneDevice::ZoneBaseLpn(ZoneId zone) const {
+  return Lpn(zone.value() * LpnsPerZone());
+}
+
+double ConZoneDevice::WriteAmplification() const {
+  if (stats_.host_bytes_written == 0) return 0.0;
+  const std::uint64_t flash_bytes =
+      array_.counters().TotalSlotsProgrammed() * cfg_.geometry.slot_size;
+  return static_cast<double>(flash_bytes) / static_cast<double>(stats_.host_bytes_written);
+}
+
+void ConZoneDevice::ResetStats() {
+  stats_ = ConZoneStats{};
+  translator_.ResetStats();
+  cache_.ResetStats();
+  array_.ResetCounters();
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+Result<SimTime> ConZoneDevice::Write(std::uint64_t offset, std::uint64_t len, SimTime now,
+                                     std::span<const std::uint64_t> tokens) {
+  const std::uint64_t slot = cfg_.geometry.slot_size;
+  if (offset % slot != 0 || len % slot != 0 || len == 0) {
+    return Status::InvalidArgument("write must be 4 KiB aligned and non-empty");
+  }
+  const ZoneId zone{offset / cfg_.zone_size_bytes};
+  const std::uint64_t off_in_zone = offset % cfg_.zone_size_bytes;
+  if (zone.value() >= cfg_.num_conventional_zones + layout_.num_zones()) {
+    return Status::OutOfRange("write beyond device capacity");
+  }
+  if (off_in_zone + len > cfg_.zone_size_bytes) {
+    return Status::InvalidArgument("write crosses a zone boundary");
+  }
+  if (!tokens.empty() && tokens.size() != len / slot) {
+    return Status::InvalidArgument("token count != written 4 KiB pages");
+  }
+  if (IsConventional(zone)) {
+    return WriteConventional(zone, offset, len, now, tokens);
+  }
+  if (Status st = zones_.BeginWrite(zone, off_in_zone, len); !st.ok()) return st;
+
+  ++stats_.writes;
+  stats_.host_bytes_written += len;
+
+  // Host DMA into device SRAM.
+  SimTime t = now + cfg_.request_overhead;
+  t = host_link_.Reserve(t, HostTransferTime(len)).end;
+
+  const std::uint64_t nslots = len / slot;
+  const Lpn first_lpn = Lpn(offset / slot);
+  const WriteBufferId buf = buffers_.BufferForZone(zone);
+
+  std::uint64_t i = 0;
+  while (i < nslots) {
+    // The buffer SRAM may still be streaming out a previous flush.
+    t = Later(t, buffer_ready_[static_cast<std::size_t>(buf.value())]);
+
+    if (buffers_.HasConflict(zone)) {
+      // §III-B conflicting zone-buffer mapping: evict the other zone's
+      // data first. The arriving write stalls until the SRAM drains into
+      // the dies (the program pulses continue in the background).
+      ++stats_.conflict_flushes;
+      BufferedExtent ext = buffers_.Take(buf, /*conflict=*/true);
+      auto done = FlushAny(std::move(ext), t);
+      if (!done.ok()) return done.status();
+      buffer_ready_[static_cast<std::size_t>(buf.value())] = done.value().sram_free;
+      t = done.value().sram_free;
+    }
+
+    const std::uint64_t free = buffers_.FreeSlots(buf);
+    const std::uint64_t n = std::min(free, nslots - i);
+    std::vector<SlotWrite> chunk;
+    chunk.reserve(n);
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const Lpn lpn = Lpn(first_lpn.value() + i + k);
+      const std::uint64_t token = tokens.empty() ? DefaultToken(lpn) : tokens[i + k];
+      chunk.push_back(SlotWrite{lpn, token});
+    }
+    if (Status st = buffers_.Append(zone, Lpn(first_lpn.value() + i), chunk); !st.ok()) {
+      return st;
+    }
+    i += n;
+
+    const bool zone_complete = i == nslots && off_in_zone + len == cfg_.zone_size_bytes;
+    if (buffers_.FreeSlots(buf) == 0 || zone_complete) {
+      // Flush when the superpage completes — and when the zone itself
+      // completes, so the §III-E alignment patch is programmed and the
+      // zone can aggregate. The host write does not wait for media; only
+      // later appends to this buffer do.
+      BufferedExtent ext = buffers_.Take(buf, /*conflict=*/false);
+      auto done = FlushAny(std::move(ext), t);
+      if (!done.ok()) return done.status();
+      buffer_ready_[static_cast<std::size_t>(buf.value())] = done.value().sram_free;
+    }
+  }
+  return t;
+}
+
+Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushAny(BufferedExtent extent,
+                                                           SimTime now) {
+  if (extent.empty()) return FlushResult{now, now};
+  return IsConventional(extent.owner) ? FlushConventionalExtent(std::move(extent), now)
+                                      : FlushExtent(std::move(extent), now);
+}
+
+Result<SimTime> ConZoneDevice::ReadBackStaged(ZoneId zone, std::uint64_t begin,
+                                              std::uint64_t end,
+                                              std::vector<SlotWrite>& out, SimTime now) {
+  const FlashGeometry& geo = cfg_.geometry;
+  const Lpn zbase = ZoneBaseLpn(zone);
+  // One sense+transfer per distinct flash page holding staged slots.
+  std::unordered_map<std::uint64_t, std::uint32_t> pages;  // page id -> live slots
+  SimTime done = now;
+  for (std::uint64_t off = begin; off < end; off += geo.slot_size) {
+    const Lpn lpn = Lpn(zbase.value() + off / geo.slot_size);
+    const MapEntry e = table_.Get(lpn);
+    if (!e.mapped()) {
+      return Status::Internal("staged range has unmapped lpn " +
+                              std::to_string(lpn.value()));
+    }
+    const SlotRead r = array_.ReadSlot(e.ppn);
+    if (r.state != SlotState::kValid || r.lpn != lpn) {
+      return Status::Internal("staged slot mismatch for lpn " +
+                              std::to_string(lpn.value()));
+    }
+    out.push_back(SlotWrite{lpn, r.token});
+    pages[geo.PageOfSlot(e.ppn).value()]++;
+    if (Status st = array_.InvalidateSlot(e.ppn); !st.ok()) return st;
+    ++stats_.fold_slots_read;
+  }
+  for (const auto& [page, count] : pages) {
+    const ChipId chip = geo.ChipOfBlock(geo.BlockOfPage(FlashPageId(page)));
+    array_.CountPageRead();
+    done = Later(done, engine_.ReadPage(chip, CellType::kSlc,
+                                        count * geo.slot_size, now));
+  }
+  return done;
+}
+
+Result<ConZoneDevice::FlushResult> ConZoneDevice::StageSlots(
+    ZoneId zone, ZoneRuntime& zr, const BufferedExtent& extent, std::uint64_t from_byte,
+    SimTime now) {
+  const FlashGeometry& geo = cfg_.geometry;
+  const std::uint64_t ext_start =
+      (extent.first_lpn.value() - ZoneBaseLpn(zone).value()) * geo.slot_size;
+  const std::uint64_t ext_end = ext_start + extent.slot_count() * geo.slot_size;
+  if (from_byte >= ext_end) return FlushResult{now, now};
+  const std::uint64_t first = (std::max(from_byte, ext_start) - ext_start) / geo.slot_size;
+
+  std::vector<SlotWrite> writes(extent.slots.begin() +
+                                    static_cast<std::ptrdiff_t>(first),
+                                extent.slots.end());
+  auto ppns = slc_alloc_.Program(writes);
+  if (!ppns.ok()) return ppns.status();
+  const auto prog = ProgramSlcSlots(engine_, geo, ppns.value(), now);
+  FlushResult done{prog.data_in, prog.end};
+  for (std::size_t k = 0; k < writes.size(); ++k) {
+    table_.Set(writes[k].lpn, ppns.value()[k]);
+    cache_.Erase(L2pKey{MapGranularity::kPage, writes[k].lpn.value()});
+  }
+  l2p_log_.Append(writes.size());
+  zr.staged_end = ext_end;
+  return done;
+}
+
+Result<ConZoneDevice::FlushResult> ConZoneDevice::ProgramPatchRun(
+    ZoneId zone, ZoneRuntime& zr, const BufferedExtent& extent, SimTime now) {
+  const FlashGeometry& geo = cfg_.geometry;
+  const std::uint64_t begin = layout_.normal_bytes();
+  const std::uint64_t end = cfg_.zone_size_bytes;
+  const Lpn zbase = ZoneBaseLpn(zone);
+  const std::uint64_t ext_start =
+      (extent.first_lpn.value() - zbase.value()) * geo.slot_size;
+
+  // Assemble the full patch: staged pieces are read back and invalidated
+  // (they will be re-programmed contiguously), the rest comes from the
+  // flushed buffer extent.
+  std::vector<SlotWrite> data;
+  data.reserve((end - begin) / geo.slot_size);
+  SimTime reads_done = now;
+  if (zr.staged_end > begin) {
+    auto rd = ReadBackStaged(zone, begin, zr.staged_end, data, now);
+    if (!rd.ok()) return rd.status();
+    reads_done = rd.value();
+  }
+  for (std::uint64_t off = std::max(begin, ext_start); off < end; off += geo.slot_size) {
+    const std::uint64_t idx = (off - ext_start) / geo.slot_size;
+    data.push_back(extent.slots[static_cast<std::size_t>(idx)]);
+  }
+  if (data.size() != (end - begin) / geo.slot_size) {
+    return Status::Internal("patch assembly incomplete for zone " +
+                            std::to_string(zone.value()));
+  }
+
+  auto ppns = slc_alloc_.Program(data);
+  if (!ppns.ok()) return ppns.status();
+  const auto prog = ProgramSlcSlots(engine_, geo, ppns.value(), reads_done);
+  FlushResult done{prog.data_in, prog.end};
+  bool contiguous = true;
+  for (std::size_t k = 0; k < data.size(); ++k) {
+    const Ppn ppn = ppns.value()[k];
+    table_.Set(data[k].lpn, ppn);
+    cache_.Erase(L2pKey{MapGranularity::kPage, data[k].lpn.value()});
+    if (k > 0) {
+      auto expect = layout_.StripeAdvance(ppns.value()[0], k);
+      if (!expect || *expect != ppn) contiguous = false;
+    }
+  }
+  l2p_log_.Append(data.size());
+  zr.patch_start = ppns.value()[0];
+  zr.patch_contiguous = contiguous;
+  zr.durable_normal_end = begin;
+  zr.staged_end = end;
+  ++stats_.patch_runs;
+  return done;
+}
+
+Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushExtent(BufferedExtent extent,
+                                                              SimTime now) {
+  if (extent.empty()) return FlushResult{now, now};
+  ++stats_.flushes;
+  const FlashGeometry& geo = cfg_.geometry;
+  const ZoneId zone = extent.owner;
+  ZoneRuntime& zr = runtime_[static_cast<std::size_t>(zone.value())];
+  const Lpn zbase = ZoneBaseLpn(zone);
+  const std::uint64_t ext_start =
+      (extent.first_lpn.value() - zbase.value()) * geo.slot_size;
+  const std::uint64_t ext_end = ext_start + extent.slot_count() * geo.slot_size;
+  if (ext_start != zr.staged_end) {
+    return Status::Internal("flush extent does not continue zone " +
+                            std::to_string(zone.value()));
+  }
+
+  const std::uint64_t unit = geo.program_unit;
+  FlushResult done{now, now};
+  std::uint64_t cur = zr.durable_normal_end;
+  bool staged_anything = false;
+
+  // (1)/(3): fold whole program units into the reserved normal blocks.
+  while (cur < layout_.normal_bytes() && cur + unit <= ext_end) {
+    std::vector<SlotWrite> data;
+    data.reserve(unit / geo.slot_size);
+    SimTime reads_done = now;
+    std::uint64_t staged_bytes = 0;
+    if (cur < zr.staged_end) {
+      // Fold: staged SLC data is read out and invalidated (§III-B ③).
+      const std::uint64_t staged_upto = std::min(zr.staged_end, cur + unit);
+      staged_bytes = staged_upto - cur;
+      auto rd = ReadBackStaged(zone, cur, staged_upto, data, now);
+      if (!rd.ok()) return rd.status();
+      reads_done = rd.value();
+      ++stats_.folds;
+    }
+    for (std::uint64_t off = std::max(cur, zr.staged_end); off < cur + unit;
+         off += geo.slot_size) {
+      data.push_back(extent.slots[static_cast<std::size_t>((off - ext_start) /
+                                                           geo.slot_size)]);
+    }
+
+    const ZoneLayout::UnitLoc loc = layout_.UnitAt(SeqZone(zone), cur / unit);
+    if (Status st = array_.ProgramSlots(loc.block, data); !st.ok()) return st;
+    const auto prog = engine_.ProgramFold(loc.chip, geo.normal_cell, unit,
+                                          unit - staged_bytes, now, reads_done);
+    done.sram_free = Later(done.sram_free, prog.data_in);
+    done.media_done = Later(done.media_done, prog.end);
+    for (std::size_t k = 0; k < data.size(); ++k) {
+      const Ppn ppn = layout_.NormalSlot(SeqZone(zone), cur + k * geo.slot_size);
+      table_.Set(data[k].lpn, ppn);
+      cache_.Erase(L2pKey{MapGranularity::kPage, data[k].lpn.value()});
+    }
+    l2p_log_.Append(data.size());
+    cur += unit;
+    zr.durable_normal_end = cur;
+    zr.staged_end = std::max(zr.staged_end, cur);
+  }
+
+  if (cur >= layout_.normal_bytes() && layout_.patch_bytes() > 0 &&
+      ext_end == cfg_.zone_size_bytes) {
+    // Zone completes: write the §III-E alignment patch as one contiguous
+    // SLC run so the zone's mapping can still aggregate.
+    auto pr = ProgramPatchRun(zone, zr, extent, now);
+    if (!pr.ok()) return pr.status();
+    done.sram_free = Later(done.sram_free, pr.value().sram_free);
+    done.media_done = Later(done.media_done, pr.value().media_done);
+    staged_anything = true;  // the patch is SLC-resident by design
+  } else if (ext_end > std::max(cur, zr.staged_end)) {
+    // (2): sub-unit remainder — partial-program into the SLC secondary
+    // write buffer (premature flush).
+    auto st = StageSlots(zone, zr, extent, std::max(cur, zr.staged_end), now);
+    if (!st.ok()) return st.status();
+    done.sram_free = Later(done.sram_free, st.value().sram_free);
+    done.media_done = Later(done.media_done, st.value().media_done);
+    staged_anything = true;
+  }
+  if (staged_anything) ++stats_.premature_flushes;
+
+  UpdateAggregation(zone, zr);
+
+  // Keep the SLC region ahead of demand. GC is foreground: while it
+  // runs, host requests (including further appends) are held.
+  if (gc_.NeedsGc()) {
+    auto gc_done = gc_.Run(done.media_done);
+    if (!gc_done.ok()) return gc_done.status();
+    done.media_done = Later(done.media_done, gc_done.value());
+    done.sram_free = Later(done.sram_free, gc_done.value());
+  }
+  // §III-E extension: a full L2P log blocks the flush until persisted.
+  const SimTime logged = MaybeFlushL2pLog(done.sram_free);
+  done.sram_free = Later(done.sram_free, logged);
+  done.media_done = Later(done.media_done, logged);
+  return done;
+}
+
+SimTime ConZoneDevice::MaybeFlushL2pLog(SimTime now) {
+  SimTime t = now;
+  while (l2p_log_.NeedsFlush()) {
+    std::uint64_t bytes = l2p_log_.TakeFlushBytes();
+    // Program the accumulated records to metadata flash, one page-sized
+    // chunk at a time, round-robin over the chips.
+    while (bytes > 0) {
+      const std::uint64_t chunk = std::min<std::uint64_t>(bytes, cfg_.geometry.page_size);
+      const ChipId chip{l2p_log_chip_};
+      l2p_log_chip_ = (l2p_log_chip_ + 1) % cfg_.geometry.NumChips();
+      t = engine_.Program(chip, cfg_.map_media, chunk, t).end;
+      bytes -= chunk;
+    }
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation maintenance
+// ---------------------------------------------------------------------------
+
+void ConZoneDevice::UpdateAggregation(ZoneId zone, ZoneRuntime& zr) {
+  const std::uint64_t chunk_bytes =
+      static_cast<std::uint64_t>(cfg_.lpns_per_chunk) * cfg_.geometry.slot_size;
+  const Lpn zbase = ZoneBaseLpn(zone);
+  const std::uint64_t total_chunks = cfg_.zone_size_bytes / chunk_bytes;
+
+  auto stamp_chunk = [&](std::uint32_t idx) {
+    const Lpn cbase = Lpn(zbase.value() + static_cast<std::uint64_t>(idx) *
+                                              cfg_.lpns_per_chunk);
+    table_.SetAggregated(cbase, cfg_.lpns_per_chunk, MapGranularity::kChunk);
+    auto base_ppn = ResolveAggregated(MapGranularity::kChunk,
+                                      cbase.value() / cfg_.lpns_per_chunk, cbase);
+    if (base_ppn) {
+      translator_.OnAggregateGenerated(MapGranularity::kChunk,
+                                       cbase.value() / cfg_.lpns_per_chunk, *base_ppn);
+    }
+    ++stats_.aggregates_chunk;
+  };
+
+  // Chunks wholly inside the durable normal prefix (§III-C ②: compare the
+  // physical address against the chunk boundary — with the reserved
+  // layout that is exactly the durable prefix test).
+  while (static_cast<std::uint64_t>(zr.chunks_aggregated + 1) * chunk_bytes <=
+         zr.durable_normal_end) {
+    stamp_chunk(zr.chunks_aggregated);
+    ++zr.chunks_aggregated;
+  }
+
+  // Zone completion: the patch (if any) must have landed contiguously.
+  const bool complete = zr.staged_end == cfg_.zone_size_bytes &&
+                        zr.durable_normal_end == layout_.normal_bytes();
+  const bool patch_ok = layout_.patch_bytes() == 0 || zr.patch_contiguous;
+  if (complete && patch_ok && !zr.zone_aggregated) {
+    while (zr.chunks_aggregated < total_chunks) {
+      stamp_chunk(zr.chunks_aggregated);
+      ++zr.chunks_aggregated;
+    }
+    if (cfg_.max_aggregation == MapGranularity::kZone) {
+      table_.SetAggregated(zbase, LpnsPerZone(), MapGranularity::kZone);
+      auto base_ppn = ResolveAggregated(MapGranularity::kZone, zone.value(), zbase);
+      if (base_ppn) {
+        translator_.OnAggregateGenerated(MapGranularity::kZone, zone.value(), *base_ppn);
+      }
+      zr.zone_aggregated = true;
+      ++stats_.aggregates_zone;
+    }
+  }
+}
+
+std::optional<Ppn> ConZoneDevice::ResolveAggregated(MapGranularity gran,
+                                                    std::uint64_t unit_index,
+                                                    Lpn lpn) const {
+  (void)gran;
+  (void)unit_index;
+  const ZoneId zone{lpn.value() / LpnsPerZone()};
+  if (IsConventional(zone)) return std::nullopt;  // never aggregated
+  if (zone.value() >= cfg_.num_conventional_zones + layout_.num_zones()) {
+    return std::nullopt;
+  }
+  const std::uint64_t off =
+      (lpn.value() - zone.value() * LpnsPerZone()) * cfg_.geometry.slot_size;
+  if (off < layout_.normal_bytes()) return layout_.NormalSlot(SeqZone(zone), off);
+  const ZoneRuntime& zr = runtime_[static_cast<std::size_t>(zone.value())];
+  if (!zr.patch_contiguous || !zr.patch_start.valid()) return std::nullopt;
+  const std::uint64_t steps = (off - layout_.normal_bytes()) / cfg_.geometry.slot_size;
+  return layout_.StripeAdvance(zr.patch_start, steps);
+}
+
+void ConZoneDevice::OnGcRemap(Lpn lpn, Ppn old_ppn, Ppn new_ppn) {
+  (void)old_ppn;
+  const MapEntry e = table_.Get(lpn);
+  if (e.gran != MapGranularity::kPage) {
+    // Only patch slots can be both SLC-resident and aggregated; moving
+    // one breaks the zone (and patch-chunk) aggregation.
+    const ZoneId zone{lpn.value() / LpnsPerZone()};
+    ZoneRuntime& zr = runtime_[static_cast<std::size_t>(zone.value())];
+    const Lpn zbase = ZoneBaseLpn(zone);
+    const std::uint64_t chunk_bytes =
+        static_cast<std::uint64_t>(cfg_.lpns_per_chunk) * cfg_.geometry.slot_size;
+    const std::uint32_t full_chunks =
+        static_cast<std::uint32_t>(layout_.normal_bytes() / chunk_bytes);
+
+    table_.DowngradeToPage(zbase, LpnsPerZone());
+    cache_.Erase(L2pKey{MapGranularity::kZone, zone.value()});
+    const std::uint64_t first_chunk = zbase.value() / cfg_.lpns_per_chunk;
+    const std::uint64_t total_chunks = cfg_.zone_size_bytes / chunk_bytes;
+    for (std::uint64_t c = 0; c < total_chunks; ++c) {
+      cache_.Erase(L2pKey{MapGranularity::kChunk, first_chunk + c});
+    }
+    // Chunks wholly in the normal region stay aggregatable at chunk level.
+    for (std::uint32_t c = 0; c < full_chunks; ++c) {
+      const Lpn cbase = Lpn(zbase.value() + static_cast<std::uint64_t>(c) *
+                                                cfg_.lpns_per_chunk);
+      table_.SetAggregated(cbase, cfg_.lpns_per_chunk, MapGranularity::kChunk);
+      auto base_ppn = ResolveAggregated(MapGranularity::kChunk,
+                                        cbase.value() / cfg_.lpns_per_chunk, cbase);
+      if (base_ppn) {
+        translator_.OnAggregateGenerated(MapGranularity::kChunk,
+                                         cbase.value() / cfg_.lpns_per_chunk, *base_ppn);
+      }
+    }
+    zr.zone_aggregated = false;
+    zr.patch_contiguous = false;
+    zr.chunks_aggregated = full_chunks;
+    ++stats_.aggregation_breaks;
+  }
+  table_.Set(lpn, new_ppn);
+  cache_.Erase(L2pKey{MapGranularity::kPage, lpn.value()});
+  l2p_log_.Append(1);
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+Result<SimTime> ConZoneDevice::Read(std::uint64_t offset, std::uint64_t len, SimTime now,
+                                    std::vector<std::uint64_t>* tokens_out) {
+  const FlashGeometry& geo = cfg_.geometry;
+  const std::uint64_t slot = geo.slot_size;
+  if (offset % slot != 0 || len % slot != 0 || len == 0) {
+    return Status::InvalidArgument("read must be 4 KiB aligned and non-empty");
+  }
+  if (offset + len > layout_.device_capacity()) {
+    return Status::OutOfRange("read beyond device capacity");
+  }
+
+  ++stats_.reads;
+  stats_.host_bytes_read += len;
+  const SimTime t0 = now + cfg_.request_overhead;
+  SimTime data_done = t0;
+
+  // Per-request page groups: every distinct flash page touched costs one
+  // sense + one transfer of its live slots, no matter how the slots are
+  // interleaved (SLC staging stripes consecutive LPNs across chips).
+  struct PageGroup {
+    FlashPageId page;
+    std::uint32_t slots = 0;
+    SimTime dep;  // latest metadata fetch feeding this page
+  };
+  std::vector<PageGroup> groups;
+  auto add_to_group = [&](FlashPageId page, SimTime dep) {
+    for (PageGroup& g : groups) {
+      if (g.page == page) {
+        ++g.slots;
+        g.dep = Later(g.dep, dep);
+        return;
+      }
+    }
+    groups.push_back(PageGroup{page, 1, dep});
+  };
+
+  for (std::uint64_t off = offset; off < offset + len; off += slot) {
+    const Lpn lpn = Lpn(off / slot);
+    const ZoneId zone{off / cfg_.zone_size_bytes};
+    const std::uint64_t off_in_zone = off % cfg_.zone_size_bytes;
+    if (IsConventional(zone)) {
+      // In-place region: no write pointer; validity comes from the
+      // mapping itself. Buffered updates are served from RAM.
+      if (const std::uint64_t* tok = BufferedToken(lpn)) {
+        if (tokens_out) tokens_out->push_back(*tok);
+        ++stats_.buffer_ram_reads;
+        continue;
+      }
+      auto tr = translator_.Translate(lpn);
+      if (!tr.ok()) return tr.status();
+      SimTime dep = t0;
+      for (std::uint64_t map_page : tr.value().map_pages_fetched) {
+        const ChipId chip{map_page % geo.NumChips()};
+        array_.CountPageRead();
+        dep = engine_.ReadPage(chip, cfg_.map_media, geo.page_size, dep);
+      }
+      const SlotRead r = array_.ReadSlot(tr.value().ppn);
+      if (r.state != SlotState::kValid || r.lpn != lpn) {
+        return Status::Internal("conventional mapping stale (lpn " +
+                                std::to_string(lpn.value()) + ")");
+      }
+      if (tokens_out) tokens_out->push_back(r.token);
+      add_to_group(geo.PageOfSlot(tr.value().ppn), dep);
+      continue;
+    }
+    if (Status st = zones_.CheckRead(zone, off_in_zone, slot); !st.ok()) return st;
+    const ZoneRuntime& zr = runtime_[static_cast<std::size_t>(zone.value())];
+
+    if (off_in_zone >= zr.staged_end) {
+      // Still in the volatile write buffer: served from RAM.
+      const BufferedExtent& b = buffers_.Contents(buffers_.BufferForZone(zone));
+      if (b.empty() || b.owner != zone || lpn < b.first_lpn ||
+          lpn.value() >= b.first_lpn.value() + b.slot_count()) {
+        return Status::Internal("unflushed data missing from write buffer (lpn " +
+                                std::to_string(lpn.value()) + ")");
+      }
+      if (tokens_out) {
+        tokens_out->push_back(
+            b.slots[static_cast<std::size_t>(lpn.value() - b.first_lpn.value())].token);
+      }
+      ++stats_.buffer_ram_reads;
+      continue;
+    }
+
+    auto tr = translator_.Translate(lpn);
+    if (!tr.ok()) return tr.status();
+    SimTime dep = t0;
+    // L2P miss: dependent metadata fetches, sequential (§III-C R.2 —
+    // multiple fetches make read performance unstable under MULTIPLE).
+    for (std::uint64_t map_page : tr.value().map_pages_fetched) {
+      const ChipId chip{map_page % geo.NumChips()};
+      array_.CountPageRead();
+      dep = engine_.ReadPage(chip, cfg_.map_media, geo.page_size, dep);
+    }
+
+    const Ppn ppn = tr.value().ppn;
+    const SlotRead r = array_.ReadSlot(ppn);
+    if (r.state != SlotState::kValid || r.lpn != lpn) {
+      return Status::Internal("mapping points at stale slot (lpn " +
+                              std::to_string(lpn.value()) + " ppn " +
+                              std::to_string(ppn.value()) + ")");
+    }
+    if (tokens_out) tokens_out->push_back(r.token);
+    add_to_group(geo.PageOfSlot(ppn), dep);
+  }
+
+  for (const PageGroup& g : groups) {
+    const BlockId block = geo.BlockOfPage(g.page);
+    array_.CountPageRead();
+    data_done = Later(data_done, engine_.ReadPage(geo.ChipOfBlock(block),
+                                                  geo.CellOfBlock(block),
+                                                  g.slots * slot, g.dep));
+  }
+
+  // Stream the payload back to the host.
+  const SimTime end = host_link_.Reserve(data_done, HostTransferTime(len)).end;
+  return end;
+}
+
+// ---------------------------------------------------------------------------
+// Erase path
+// ---------------------------------------------------------------------------
+
+Result<SimTime> ConZoneDevice::ResetZone(ZoneId zone, SimTime now) {
+  if (!zone.valid() ||
+      zone.value() >= cfg_.num_conventional_zones + layout_.num_zones()) {
+    return Status::OutOfRange("reset of invalid zone");
+  }
+  if (IsConventional(zone)) return ResetConventionalZone(zone, now);
+  if (Status st = zones_.Reset(zone); !st.ok()) return st;
+  ++stats_.zone_resets;
+
+  const FlashGeometry& geo = cfg_.geometry;
+  buffers_.Discard(zone);
+
+  // Invalidate SLC-resident slots (staged data and the patch, E.2: "if
+  // the zone has some data in SLC, ConZone invalidates it also") and drop
+  // all mappings.
+  const Lpn zbase = ZoneBaseLpn(zone);
+  for (std::uint64_t i = 0; i < LpnsPerZone(); ++i) {
+    const Lpn lpn = Lpn(zbase.value() + i);
+    const MapEntry e = table_.Get(lpn);
+    if (e.mapped() && geo.IsSlcBlock(geo.BlockOfSlot(e.ppn))) {
+      // Erased normal blocks reset their own slot state below.
+      (void)array_.InvalidateSlot(e.ppn);
+    }
+    if (e.mapped()) table_.Unmap(lpn);
+  }
+  cache_.InvalidateLpnRange(zbase, LpnsPerZone());
+
+  // Directly erase the reserved normal blocks that hold data.
+  const SimTime t0 = now + cfg_.request_overhead;
+  SimTime done = t0;
+  for (std::uint32_t k = 0; k < cfg_.superblocks_per_zone; ++k) {
+    const SuperblockId sb = layout_.SuperblockOfZone(zone, k);
+    for (std::uint32_t c = 0; c < geo.NumChips(); ++c) {
+      const BlockId b = geo.BlockOfSuperblock(sb, ChipId{c});
+      if (array_.NextProgramSlot(b) == 0) continue;
+      if (Status st = array_.EraseBlock(b); !st.ok()) return st;
+      done = Later(done, engine_.Erase(ChipId{c}, geo.normal_cell, t0));
+    }
+  }
+  runtime_[static_cast<std::size_t>(zone.value())] = ZoneRuntime{};
+  return done;
+}
+
+Result<SimTime> ConZoneDevice::Flush(SimTime now) {
+  SimTime done = now;
+  for (std::uint32_t b = 0; b < cfg_.buffers.num_buffers; ++b) {
+    const WriteBufferId id{b};
+    if (buffers_.Contents(id).empty()) continue;
+    const SimTime start = Later(now, buffer_ready_[b]);
+    auto res = FlushAny(buffers_.Take(id, /*conflict=*/false), start);
+    if (!res.ok()) return res.status();
+    buffer_ready_[b] = res.value().sram_free;
+    done = Later(done, res.value().media_done);
+  }
+  return done;
+}
+
+
+// ---------------------------------------------------------------------------
+// Conventional zones (SIII-E extension): in-place updates for the host's
+// metadata region, backed by a page-mapped dynamic pool with its own GC.
+// ---------------------------------------------------------------------------
+
+const std::uint64_t* ConZoneDevice::BufferedToken(Lpn lpn) const {
+  for (std::uint32_t b = 0; b < cfg_.buffers.num_buffers; ++b) {
+    const BufferedExtent& e = buffers_.Contents(WriteBufferId{b});
+    if (!e.empty() && lpn >= e.first_lpn &&
+        lpn.value() < e.first_lpn.value() + e.slot_count()) {
+      return &e.slots[static_cast<std::size_t>(lpn.value() - e.first_lpn.value())].token;
+    }
+  }
+  return nullptr;
+}
+
+Status ConZoneDevice::SetMappingInPlace(Lpn lpn, Ppn ppn) {
+  const MapEntry old = table_.Get(lpn);
+  if (old.mapped() && array_.StateOfSlot(old.ppn) == SlotState::kValid) {
+    if (Status st = array_.InvalidateSlot(old.ppn); !st.ok()) return st;
+    ++stats_.conventional_overwrites;
+  }
+  table_.Set(lpn, ppn);
+  cache_.Erase(L2pKey{MapGranularity::kPage, lpn.value()});
+  l2p_log_.Append(1);
+  return Status::Ok();
+}
+
+Result<SimTime> ConZoneDevice::WriteConventional(ZoneId zone, std::uint64_t offset,
+                                                 std::uint64_t len, SimTime now,
+                                                 std::span<const std::uint64_t> tokens) {
+  const std::uint64_t slot = cfg_.geometry.slot_size;
+  ++stats_.writes;
+  ++stats_.conventional_writes;
+  stats_.host_bytes_written += len;
+
+  SimTime t = now + cfg_.request_overhead;
+  t = host_link_.Reserve(t, HostTransferTime(len)).end;
+
+  const std::uint64_t nslots = len / slot;
+  const Lpn first_lpn = Lpn(offset / slot);
+
+  std::uint64_t i = 0;
+  while (i < nslots) {
+    const Lpn next = Lpn(first_lpn.value() + i);
+    // The controller tracks in-place streams the way Legacy does:
+    // continue a matching extent, else take an empty buffer, else evict
+    // the coldest one (which may belong to a sequential zone - FlushAny
+    // dispatches correctly).
+    const WriteBufferId buf = buffers_.PickBufferForStream(next);
+    t = Later(t, buffer_ready_[static_cast<std::size_t>(buf.value())]);
+
+    const BufferedExtent& cur = buffers_.Contents(buf);
+    const bool contiguous =
+        cur.empty() || (cur.owner == zone &&
+                        Lpn(cur.first_lpn.value() + cur.slot_count()) == next);
+    const bool overlaps =
+        !cur.empty() && next.value() < cur.first_lpn.value() + cur.slot_count() &&
+        next.value() + (nslots - i) > cur.first_lpn.value();
+    if (!contiguous || overlaps) {
+      ++stats_.conflict_flushes;
+      auto done = FlushAny(buffers_.Take(buf, /*conflict=*/true), t);
+      if (!done.ok()) return done.status();
+      buffer_ready_[static_cast<std::size_t>(buf.value())] = done.value().sram_free;
+      t = done.value().sram_free;
+    }
+
+    const std::uint64_t free = buffers_.FreeSlots(buf);
+    const std::uint64_t n = std::min(free, nslots - i);
+    std::vector<SlotWrite> chunk;
+    chunk.reserve(n);
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const Lpn lpn = Lpn(first_lpn.value() + i + k);
+      chunk.push_back(
+          SlotWrite{lpn, tokens.empty() ? DefaultToken(lpn) : tokens[i + k]});
+    }
+    if (Status st = buffers_.AppendTo(buf, zone, next, chunk); !st.ok()) return st;
+    i += n;
+
+    if (buffers_.FreeSlots(buf) == 0) {
+      auto done = FlushAny(buffers_.Take(buf, /*conflict=*/false), t);
+      if (!done.ok()) return done.status();
+      buffer_ready_[static_cast<std::size_t>(buf.value())] = done.value().sram_free;
+    }
+  }
+  return t;
+}
+
+Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushConventionalExtent(
+    BufferedExtent extent, SimTime now) {
+  if (extent.empty()) return FlushResult{now, now};
+  ++stats_.flushes;
+  const FlashGeometry& geo = cfg_.geometry;
+  const std::uint64_t unit_slots = geo.program_unit / geo.slot_size;
+  FlushResult done{now, now};
+
+  std::size_t i = 0;
+  // Whole one-shot units into the conventional pool's log.
+  while (extent.slot_count() - i >= unit_slots) {
+    auto unit = conv_alloc_.ProgramUnit(
+        std::span<const SlotWrite>(extent.slots).subspan(i, unit_slots));
+    if (!unit.ok()) return unit.status();
+    const auto prog =
+        engine_.Program(unit.value().chip, geo.normal_cell, geo.program_unit, now);
+    done.sram_free = Later(done.sram_free, prog.data_in);
+    done.media_done = Later(done.media_done, prog.end);
+    for (std::size_t k = 0; k < unit_slots; ++k) {
+      if (Status st = SetMappingInPlace(extent.slots[i + k].lpn, unit.value().ppns[k]);
+          !st.ok()) {
+        return st;
+      }
+    }
+    i += unit_slots;
+  }
+  // Sub-unit remainder: through the shared SLC secondary buffer. Under
+  // page mapping it simply lives there until GC migrates it.
+  if (i < extent.slot_count()) {
+    ++stats_.premature_flushes;
+    std::vector<SlotWrite> rest(extent.slots.begin() + static_cast<std::ptrdiff_t>(i),
+                                extent.slots.end());
+    auto ppns = slc_alloc_.Program(rest);
+    if (!ppns.ok()) return ppns.status();
+    const auto prog = ProgramSlcSlots(engine_, geo, ppns.value(), now);
+    done.sram_free = Later(done.sram_free, prog.data_in);
+    done.media_done = Later(done.media_done, prog.end);
+    for (std::size_t k = 0; k < rest.size(); ++k) {
+      if (Status st = SetMappingInPlace(rest[k].lpn, ppns.value()[k]); !st.ok()) {
+        return st;
+      }
+    }
+  }
+
+  if (pool_.FreeNormalCount() < cfg_.gc.low_watermark) {
+    auto gc_done = CollectConventional(done.media_done);
+    if (!gc_done.ok()) return gc_done.status();
+    done.media_done = Later(done.media_done, gc_done.value());
+    done.sram_free = Later(done.sram_free, gc_done.value());
+  }
+  if (gc_.NeedsGc()) {
+    auto gc_done = gc_.Run(done.media_done);
+    if (!gc_done.ok()) return gc_done.status();
+    done.media_done = Later(done.media_done, gc_done.value());
+    done.sram_free = Later(done.sram_free, gc_done.value());
+  }
+  const SimTime logged = MaybeFlushL2pLog(done.sram_free);
+  done.sram_free = Later(done.sram_free, logged);
+  done.media_done = Later(done.media_done, logged);
+  return done;
+}
+
+Result<SimTime> ConZoneDevice::CollectConventional(SimTime now) {
+  const FlashGeometry& geo = cfg_.geometry;
+  ++stats_.conventional_gc_runs;
+  SimTime t = now;
+  const std::uint32_t pool_begin = geo.NumSlcSuperblocks();
+  const std::uint32_t pool_end =
+      pool_begin + cfg_.EffectiveConventionalSuperblocks();
+  std::size_t last_free = pool_.FreeNormalCount();
+  int stalled = 0;
+  while (pool_.FreeNormalCount() < cfg_.gc.reclaim_target) {
+    // Greedy victim within the conventional pool.
+    SuperblockId victim;
+    std::uint64_t best_valid = ~0ull;
+    for (std::uint32_t sb = pool_begin; sb < pool_end; ++sb) {
+      const SuperblockId cand{sb};
+      if (cand == conv_alloc_.current_superblock()) continue;
+      std::uint64_t valid = 0, used = 0;
+      for (std::uint32_t c = 0; c < geo.NumChips(); ++c) {
+        const BlockId b = geo.BlockOfSuperblock(cand, ChipId{c});
+        valid += array_.ValidSlots(b);
+        used += array_.NextProgramSlot(b);
+      }
+      if (used == 0) continue;
+      if (valid < best_valid) {
+        best_valid = valid;
+        victim = cand;
+      }
+    }
+    if (!victim.valid()) {
+      if (pool_.FreeNormalCount() == 0) {
+        return Status::ResourceExhausted("conventional pool exhausted, no victim");
+      }
+      break;
+    }
+    if (pool_.FreeNormalCount() <= last_free && ++stalled > 1) break;
+    last_free = pool_.FreeNormalCount();
+
+    // Read live slots (grouped per page), re-log them, erase, release.
+    std::vector<SlotWrite> live;
+    std::vector<Ppn> old_ppns;
+    SimTime reads_done = t;
+    for (std::uint32_t c = 0; c < geo.NumChips(); ++c) {
+      const BlockId b = geo.BlockOfSuperblock(victim, ChipId{c});
+      const std::uint32_t used = array_.NextProgramSlot(b);
+      std::uint32_t page_live = 0;
+      std::uint32_t current_page = ~0u;
+      auto flush_page = [&] {
+        if (page_live == 0) return;
+        array_.CountPageRead();
+        reads_done = Later(reads_done, engine_.ReadPage(ChipId{c}, geo.normal_cell,
+                                                        page_live * geo.slot_size, t));
+        page_live = 0;
+      };
+      for (std::uint32_t sidx = 0; sidx < used; ++sidx) {
+        const std::uint32_t page = sidx / geo.SlotsPerPage();
+        const Ppn ppn = geo.SlotAt(geo.PageAt(b, page), sidx % geo.SlotsPerPage());
+        if (array_.StateOfSlot(ppn) != SlotState::kValid) continue;
+        if (page != current_page) {
+          flush_page();
+          current_page = page;
+        }
+        ++page_live;
+        const SlotRead r = array_.ReadSlot(ppn);
+        live.push_back(SlotWrite{r.lpn, r.token});
+        old_ppns.push_back(ppn);
+      }
+      flush_page();
+    }
+    // Invalidate the old copies first so SetMappingInPlace's invariant
+    // (mapping points at a valid slot) holds while re-logging.
+    for (const Ppn old : old_ppns) {
+      if (Status st = array_.InvalidateSlot(old); !st.ok()) return st;
+    }
+    std::size_t i = 0;
+    while (i < live.size()) {
+      std::vector<SlotWrite> unit(
+          live.begin() + static_cast<std::ptrdiff_t>(i),
+          live.begin() + static_cast<std::ptrdiff_t>(
+                             std::min(i + geo.program_unit / geo.slot_size, live.size())));
+      const std::size_t data_count = unit.size();
+      unit.resize(geo.program_unit / geo.slot_size, SlotWrite{Lpn::Invalid(), 0});
+      auto res = conv_alloc_.ProgramUnit(unit);
+      if (!res.ok()) return res.status();
+      t = Later(t, engine_.Program(res.value().chip, geo.normal_cell, geo.program_unit,
+                                   reads_done)
+                       .end);
+      for (std::size_t k = 0; k < unit.size(); ++k) {
+        const Ppn ppn = res.value().ppns[k];
+        if (k < data_count) {
+          table_.Set(unit[k].lpn, ppn);
+          cache_.Erase(L2pKey{MapGranularity::kPage, unit[k].lpn.value()});
+          l2p_log_.Append(1);
+        } else {
+          if (Status st = array_.InvalidateSlot(ppn); !st.ok()) return st;
+        }
+      }
+      i += data_count;
+      stats_.conventional_gc_migrated += data_count;
+    }
+    SimTime erases = t;
+    for (std::uint32_t c = 0; c < geo.NumChips(); ++c) {
+      const BlockId b = geo.BlockOfSuperblock(victim, ChipId{c});
+      if (Status st = array_.EraseBlock(b); !st.ok()) return st;
+      erases = Later(erases, engine_.Erase(ChipId{c}, geo.normal_cell, t));
+    }
+    t = erases;
+    if (Status st = pool_.ReleaseNormal(victim); !st.ok()) return st;
+  }
+  return t;
+}
+
+Result<SimTime> ConZoneDevice::EvictConventionalFromSlc(std::vector<SlotWrite> slots,
+                                                        SimTime reads_done) {
+  const FlashGeometry& geo = cfg_.geometry;
+  // Make room in the pool first if needed; this never re-enters SLC GC.
+  SimTime t = reads_done;
+  if (pool_.FreeNormalCount() == 0) {
+    auto gc_done = CollectConventional(t);
+    if (!gc_done.ok()) return gc_done.status();
+    t = gc_done.value();
+  }
+  const std::uint64_t unit_slots = geo.program_unit / geo.slot_size;
+  std::size_t i = 0;
+  while (i < slots.size()) {
+    std::vector<SlotWrite> unit(
+        slots.begin() + static_cast<std::ptrdiff_t>(i),
+        slots.begin() +
+            static_cast<std::ptrdiff_t>(std::min(i + unit_slots, slots.size())));
+    const std::size_t data_count = unit.size();
+    unit.resize(unit_slots, SlotWrite{Lpn::Invalid(), 0});
+    auto res = conv_alloc_.ProgramUnit(unit);
+    if (!res.ok()) return res.status();
+    t = Later(t, engine_.Program(res.value().chip, geo.normal_cell, geo.program_unit, t)
+                     .end);
+    for (std::size_t k = 0; k < unit.size(); ++k) {
+      const Ppn ppn = res.value().ppns[k];
+      if (k < data_count) {
+        // The caller (SLC GC) invalidates the old copies; just repoint.
+        table_.Set(unit[k].lpn, ppn);
+        cache_.Erase(L2pKey{MapGranularity::kPage, unit[k].lpn.value()});
+        l2p_log_.Append(1);
+      } else {
+        if (Status st = array_.InvalidateSlot(ppn); !st.ok()) return st;
+      }
+    }
+    i += data_count;
+  }
+  return t;
+}
+
+Result<SimTime> ConZoneDevice::ResetConventionalZone(ZoneId zone, SimTime now) {
+  ++stats_.zone_resets;
+  buffers_.Discard(zone);
+  const Lpn zbase = ZoneBaseLpn(zone);
+  for (std::uint64_t i = 0; i < LpnsPerZone(); ++i) {
+    const Lpn lpn = Lpn(zbase.value() + i);
+    const MapEntry e = table_.Get(lpn);
+    if (!e.mapped()) continue;
+    if (array_.StateOfSlot(e.ppn) == SlotState::kValid) {
+      if (Status st = array_.InvalidateSlot(e.ppn); !st.ok()) return st;
+    }
+    table_.Unmap(lpn);
+  }
+  cache_.InvalidateLpnRange(zbase, LpnsPerZone());
+  // No erase here: the pool's blocks are shared; GC reclaims them.
+  return now + cfg_.request_overhead;
+}
+
+Result<SimTime> ConZoneDevice::FinishZone(ZoneId zone, SimTime now) {
+  if (!zone.valid() ||
+      zone.value() >= cfg_.num_conventional_zones + layout_.num_zones()) {
+    return Status::OutOfRange("finish of invalid zone");
+  }
+  if (IsConventional(zone)) {
+    return Status::FailedPrecondition("conventional zones have no FINISH");
+  }
+  // Flush the zone's buffered tail so written data stays readable.
+  SimTime done = now;
+  const WriteBufferId buf = buffers_.BufferForZone(zone);
+  const BufferedExtent& b = buffers_.Contents(buf);
+  if (!b.empty() && b.owner == zone) {
+    const SimTime start = Later(now, buffer_ready_[static_cast<std::size_t>(buf.value())]);
+    auto res = FlushExtent(buffers_.Take(buf, /*conflict=*/false), start);
+    if (!res.ok()) return res.status();
+    buffer_ready_[static_cast<std::size_t>(buf.value())] = res.value().sram_free;
+    done = res.value().media_done;
+  }
+  if (Status st = zones_.Finish(zone); !st.ok()) return st;
+  return done;
+}
+
+}  // namespace conzone

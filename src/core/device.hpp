@@ -1,0 +1,228 @@
+// ConZoneDevice — the consumer-grade zoned flash storage emulator
+// (paper §III, Fig. 2).
+//
+// Wires every substrate together into the three paths:
+//
+//   Write (§III-B, Fig. 3): requests land in the zone's shared write
+//   buffer (zone mod #buffers). A write to a zone whose buffer holds
+//   another zone's data forces a *premature flush* of that data. Flushes
+//   program whole one-shot units into the zone's reserved normal blocks
+//   (①); sub-unit remainders are partial-programmed into the SLC
+//   secondary buffer (②); once enough data accumulates, staged SLC data
+//   is read back, invalidated and folded into a normal-block program
+//   (③). The zone tail past the reserved capacity — the non-power-of-two
+//   patch (§III-E) — is written as a contiguous SLC run when the zone
+//   completes.
+//
+//   Read (§III-C, Fig. 4): the L2P cache is probed LZA → LCA → LPA; on a
+//   miss the mapping entries are fetched from metadata flash pages
+//   according to the configured search strategy, the data page is read,
+//   and the cache is refilled. Data still in the volatile write buffer is
+//   served from RAM.
+//
+//   Erase (§III-D): zone reset directly erases the zone's reserved
+//   normal blocks and invalidates its SLC-resident slots; the SLC region
+//   itself is reclaimed by the composite garbage collector.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "buffer/write_buffer.hpp"
+#include "core/config.hpp"
+#include "core/storage_device.hpp"
+#include "core/zone_layout.hpp"
+#include "flash/array.hpp"
+#include "flash/normal_allocator.hpp"
+#include "flash/slc_allocator.hpp"
+#include "flash/superblock.hpp"
+#include "flash/timing_engine.hpp"
+#include "ftl/l2p_cache.hpp"
+#include "ftl/l2p_log.hpp"
+#include "ftl/mapping.hpp"
+#include "ftl/translator.hpp"
+#include "gc/slc_gc.hpp"
+#include "sim/resource.hpp"
+#include "zns/zone.hpp"
+
+namespace conzone {
+
+/// Device-level counters beyond the per-module statistics.
+struct ConZoneStats {
+  std::uint64_t host_bytes_written = 0;
+  std::uint64_t host_bytes_read = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t zone_resets = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t premature_flushes = 0;  ///< Flushes that staged data to SLC.
+  std::uint64_t conflict_flushes = 0;   ///< Forced by zone-buffer conflicts.
+  std::uint64_t folds = 0;              ///< SLC read-back + normal program events.
+  std::uint64_t fold_slots_read = 0;    ///< 4 KiB slots read back from SLC.
+  std::uint64_t buffer_ram_reads = 0;   ///< Read slots served from the write buffer.
+  std::uint64_t patch_runs = 0;         ///< Zone-tail SLC patch programs (§III-E).
+  std::uint64_t aggregates_chunk = 0;
+  std::uint64_t aggregates_zone = 0;
+  std::uint64_t aggregation_breaks = 0;  ///< Aggregates undone by GC moves.
+  std::uint64_t conventional_writes = 0;   ///< In-place writes (§III-E ext.).
+  std::uint64_t conventional_overwrites = 0;
+  std::uint64_t conventional_gc_runs = 0;
+  std::uint64_t conventional_gc_migrated = 0;
+};
+
+class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
+ public:
+  static Result<std::unique_ptr<ConZoneDevice>> Create(const ConZoneConfig& config);
+
+  DeviceInfo info() const override;
+
+  Result<SimTime> Write(std::uint64_t offset, std::uint64_t len, SimTime now,
+                        std::span<const std::uint64_t> tokens = {}) override;
+  Result<SimTime> Read(std::uint64_t offset, std::uint64_t len, SimTime now,
+                       std::vector<std::uint64_t>* tokens_out = nullptr) override;
+  Result<SimTime> ResetZone(ZoneId zone, SimTime now) override;
+  Result<SimTime> Flush(SimTime now) override;
+
+  Result<SimTime> FinishZone(ZoneId zone, SimTime now);
+  Status OpenZone(ZoneId zone) { return zones_.ExplicitOpen(zone); }
+  Status CloseZone(ZoneId zone) { return zones_.Close(zone); }
+
+  // --- Introspection (tests, benches, examples) ---
+  const ConZoneConfig& config() const { return cfg_; }
+  const ZoneLayout& layout() const { return layout_; }
+  const ZoneManager& zones() const { return zones_; }
+  const WriteBufferPool& buffers() const { return buffers_; }
+  const MappingTable& mapping() const { return table_; }
+  const L2PCache& l2p_cache() const { return cache_; }
+  const Translator& translator() const { return translator_; }
+  const SlcGarbageCollector& gc() const { return gc_; }
+  const L2pLog& l2p_log() const { return l2p_log_; }
+  std::uint32_t num_conventional_zones() const { return cfg_.num_conventional_zones; }
+  const FlashArray& array() const { return array_; }
+  const FlashTimingEngine& engine() const { return engine_; }
+  const ConZoneStats& stats() const { return stats_; }
+  const MediaCounters& media_counters() const { return array_.counters(); }
+
+  /// Flash slots programmed x slot size / host bytes written.
+  double WriteAmplification() const;
+  /// Current L2P miss rate as seen by the translator.
+  double L2pMissRate() const { return translator_.stats().MissRate(); }
+  void ResetStats();
+
+ private:
+  explicit ConZoneDevice(const ConZoneConfig& config);
+
+  /// Per-zone write-path runtime (§III-B bookkeeping).
+  struct ZoneRuntime {
+    /// Zone-relative bytes durably placed in the reserved normal blocks
+    /// (always a prefix, always unit-aligned below the patch boundary).
+    std::uint64_t durable_normal_end = 0;
+    /// Zone-relative bytes durable anywhere (normal + SLC staging). The
+    /// half-open range [durable_normal_end, staged_end) lives in SLC.
+    std::uint64_t staged_end = 0;
+    /// Chunks stamped as aggregated so far (from chunk 0 upward).
+    std::uint32_t chunks_aggregated = 0;
+    /// First slot of the zone's SLC patch run, once programmed.
+    Ppn patch_start;
+    bool patch_contiguous = false;
+    bool zone_aggregated = false;
+  };
+
+  // PhysicalResolver: aggregated-entry address computation over the
+  // reserved layout (normal region) and the patch run (SLC).
+  std::optional<Ppn> ResolveAggregated(MapGranularity gran, std::uint64_t unit_index,
+                                       Lpn lpn) const override;
+
+  SimDuration HostTransferTime(std::uint64_t bytes) const;
+  Lpn ZoneBaseLpn(ZoneId zone) const;
+  std::uint64_t LpnsPerZone() const { return cfg_.zone_size_bytes / cfg_.geometry.slot_size; }
+
+  /// Two completion horizons of a flush: the write-buffer SRAM is free to
+  /// accept new data once the flash transfers drain (`sram_free`); the
+  /// data is durable once every program pulse finishes (`media_done`).
+  struct FlushResult {
+    SimTime sram_free;
+    SimTime media_done;
+  };
+
+  /// Flush one buffer extent through the §III-B decision tree.
+  Result<FlushResult> FlushExtent(BufferedExtent extent, SimTime now);
+
+  /// Program the zone tail [normal_bytes, zone_bytes) as one contiguous
+  /// SLC run, folding in any staged pieces. `extent` supplies the slots
+  /// not yet staged.
+  Result<FlushResult> ProgramPatchRun(ZoneId zone, ZoneRuntime& zr,
+                                      const BufferedExtent& extent, SimTime now);
+
+  /// Stage extent slots in [from_byte, end) to SLC (partial programming).
+  Result<FlushResult> StageSlots(ZoneId zone, ZoneRuntime& zr,
+                                 const BufferedExtent& extent, std::uint64_t from_byte,
+                                 SimTime now);
+
+  /// Read staged SLC slots for zone-relative range [begin, end); groups
+  /// by flash page, invalidates them, appends their data to `out`.
+  Result<SimTime> ReadBackStaged(ZoneId zone, std::uint64_t begin, std::uint64_t end,
+                                 std::vector<SlotWrite>& out, SimTime now);
+
+  /// Stamp newly completed chunks / the zone aggregate (§III-C Fig. 5 ②).
+  void UpdateAggregation(ZoneId zone, ZoneRuntime& zr);
+
+  /// GC remap hook: fix mapping, cache, and any aggregation the move broke.
+  void OnGcRemap(Lpn lpn, Ppn old_ppn, Ppn new_ppn);
+
+  /// §III-E extension: flush the L2P log to metadata flash when it is
+  /// full; the caller's operation blocks until the program completes.
+  SimTime MaybeFlushL2pLog(SimTime now);
+
+  // --- Conventional zones (§III-E extension) ---
+  bool IsConventional(ZoneId zone) const {
+    return zone.value() < cfg_.num_conventional_zones;
+  }
+  /// Layout index of a sequential zone (conventional zones precede them
+  /// in the device's zone numbering).
+  ZoneId SeqZone(ZoneId zone) const {
+    return ZoneId{zone.value() - cfg_.num_conventional_zones};
+  }
+  /// Dispatch a flush by the owning zone's type.
+  Result<FlushResult> FlushAny(BufferedExtent extent, SimTime now);
+  Result<SimTime> WriteConventional(ZoneId zone, std::uint64_t offset,
+                                    std::uint64_t len, SimTime now,
+                                    std::span<const std::uint64_t> tokens);
+  Result<FlushResult> FlushConventionalExtent(BufferedExtent extent, SimTime now);
+  /// In-place mapping update: invalidates the previous copy.
+  Status SetMappingInPlace(Lpn lpn, Ppn ppn);
+  /// Device-side GC over the conventional pool (greedy, like Legacy's).
+  Result<SimTime> CollectConventional(SimTime now);
+  Result<SimTime> ResetConventionalZone(ZoneId zone, SimTime now);
+  /// SLC-GC eviction target: relocate conventional slots to the pool
+  /// (conventional data has no fold-back to drain it from SLC).
+  Result<SimTime> EvictConventionalFromSlc(std::vector<SlotWrite> slots,
+                                           SimTime reads_done);
+  /// Token of `lpn` if it sits in any write buffer (conventional reads).
+  const std::uint64_t* BufferedToken(Lpn lpn) const;
+
+  ConZoneConfig cfg_;
+  ZoneLayout layout_;
+  FlashArray array_;
+  FlashTimingEngine engine_;
+  SuperblockPool pool_;
+  SlcAllocator slc_alloc_;
+  WriteBufferPool buffers_;
+  ZoneManager zones_;
+  MappingTable table_;
+  L2PCache cache_;
+  Translator translator_;
+  SlcGarbageCollector gc_;
+  ResourceTimeline host_link_;
+  L2pLog l2p_log_;
+  std::uint32_t l2p_log_chip_ = 0;  ///< Round-robin metadata program target.
+  NormalAllocator conv_alloc_;      ///< Conventional-pool write pointer.
+
+  std::vector<ZoneRuntime> runtime_;
+  std::vector<SimTime> buffer_ready_;  ///< Per-buffer flush completion.
+  ConZoneStats stats_;
+};
+
+}  // namespace conzone

@@ -1,0 +1,59 @@
+// Abstract storage device driven by the workload runner.
+//
+// All devices in this repository (ConZone, the Legacy baseline, the
+// FEMU-model baseline) implement this synchronous simulated-time
+// interface: an operation submitted at simulated time `now` returns its
+// completion time. Concurrency (multi-threaded FIO jobs) is created by
+// the caller interleaving submissions in time order; the devices'
+// internal resource timelines serialize contended hardware.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "common/time.hpp"
+
+namespace conzone {
+
+struct DeviceInfo {
+  std::string name;
+  std::uint64_t capacity_bytes = 0;   ///< Host-visible logical capacity.
+  std::uint64_t zone_size_bytes = 0;  ///< 0 for conventional devices.
+  std::uint32_t num_zones = 0;
+  std::uint64_t io_alignment = 4096;  ///< Required offset/length alignment.
+};
+
+class StorageDevice {
+ public:
+  virtual ~StorageDevice() = default;
+
+  virtual DeviceInfo info() const = 0;
+
+  /// Write `len` bytes at byte `offset`, submitted at `now`; returns the
+  /// completion time. `tokens` optionally carries one integrity token per
+  /// 4 KiB page (tests use this to verify end-to-end data paths); when
+  /// empty the device stores a default token derived from the LPN.
+  virtual Result<SimTime> Write(std::uint64_t offset, std::uint64_t len, SimTime now,
+                                std::span<const std::uint64_t> tokens = {}) = 0;
+
+  /// Read `len` bytes at `offset`. When `tokens_out` is non-null it is
+  /// filled with the stored token of each 4 KiB page.
+  virtual Result<SimTime> Read(std::uint64_t offset, std::uint64_t len, SimTime now,
+                               std::vector<std::uint64_t>* tokens_out = nullptr) = 0;
+
+  /// Zoned devices: reset one zone. Conventional devices reject this.
+  virtual Result<SimTime> ResetZone(ZoneId zone, SimTime now) {
+    (void)zone;
+    (void)now;
+    return Status::Unimplemented("device has no zones");
+  }
+
+  /// Flush all volatile write buffers to media.
+  virtual Result<SimTime> Flush(SimTime now) { return now; }
+};
+
+}  // namespace conzone

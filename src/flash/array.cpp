@@ -1,0 +1,135 @@
+#include "flash/array.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace conzone {
+
+FlashArray::FlashArray(const FlashGeometry& geometry) : geo_(geometry) {
+  assert(geo_.Validate().ok());
+  slots_.resize(static_cast<std::size_t>(geo_.TotalSlots()));
+  blocks_.resize(static_cast<std::size_t>(geo_.TotalBlocks()));
+}
+
+std::uint32_t FlashArray::UsableSlots(BlockId block) const {
+  const std::uint32_t full = geo_.pages_per_block * geo_.SlotsPerPage();
+  return geo_.IsSlcBlock(block) ? geo_.SlcUsableSlotsPerBlock() : full;
+}
+
+Status FlashArray::ProgramSlots(BlockId block, std::span<const SlotWrite> writes) {
+  if (block.value() >= geo_.TotalBlocks()) {
+    return Status::OutOfRange("program: bad block id " + std::to_string(block.value()));
+  }
+  if (writes.empty()) {
+    return Status::InvalidArgument("program: empty write");
+  }
+  BlockMeta& meta = blocks_[static_cast<std::size_t>(block.value())];
+  const std::uint32_t usable = UsableSlots(block);
+  if (meta.next_slot + writes.size() > usable) {
+    return Status::FailedPrecondition(
+        "program: block " + std::to_string(block.value()) + " overflow (next=" +
+        std::to_string(meta.next_slot) + " +" + std::to_string(writes.size()) +
+        " > usable=" + std::to_string(usable) + "); erase first");
+  }
+  const bool slc = geo_.IsSlcBlock(block);
+  if (!slc) {
+    // Normal blocks only accept whole one-shot program units.
+    const std::uint64_t unit_slots = geo_.program_unit / geo_.slot_size;
+    if (meta.next_slot % unit_slots != 0 || writes.size() % unit_slots != 0) {
+      return Status::InvalidArgument(
+          "program: normal block writes must be unit-aligned (unit=" +
+          std::to_string(unit_slots) + " slots, got offset=" +
+          std::to_string(meta.next_slot) + " count=" + std::to_string(writes.size()) + ")");
+    }
+  }
+
+  const std::uint64_t slots_per_block =
+      static_cast<std::uint64_t>(geo_.pages_per_block) * geo_.SlotsPerPage();
+  const std::uint64_t base = block.value() * slots_per_block + meta.next_slot;
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    Slot& s = slots_[static_cast<std::size_t>(base + i)];
+    assert(s.state == SlotState::kFree && "sequential cursor points at non-free slot");
+    s.state = SlotState::kValid;
+    s.lpn = writes[i].lpn;
+    s.token = writes[i].token;
+  }
+  meta.next_slot += static_cast<std::uint32_t>(writes.size());
+  meta.valid_slots += static_cast<std::uint32_t>(writes.size());
+  if (slc) {
+    counters_.slots_programmed_slc += writes.size();
+  } else {
+    counters_.slots_programmed_normal += writes.size();
+  }
+  return Status::Ok();
+}
+
+SlotRead FlashArray::ReadSlot(Ppn ppn) const {
+  SlotRead out;
+  if (ppn.value() >= geo_.TotalSlots()) return out;
+  const Slot& s = slots_[SlotIndex(ppn)];
+  out.state = s.state;
+  out.lpn = s.lpn;
+  out.token = s.token;
+  return out;
+}
+
+Status FlashArray::InvalidateSlot(Ppn ppn) {
+  if (ppn.value() >= geo_.TotalSlots()) {
+    return Status::OutOfRange("invalidate: bad ppn " + std::to_string(ppn.value()));
+  }
+  Slot& s = slots_[SlotIndex(ppn)];
+  if (s.state != SlotState::kValid) {
+    return Status::FailedPrecondition("invalidate: slot " + std::to_string(ppn.value()) +
+                                      " is not valid");
+  }
+  s.state = SlotState::kInvalid;
+  BlockMeta& meta = blocks_[static_cast<std::size_t>(geo_.BlockOfSlot(ppn).value())];
+  assert(meta.valid_slots > 0);
+  meta.valid_slots--;
+  return Status::Ok();
+}
+
+Status FlashArray::EraseBlock(BlockId block) {
+  if (block.value() >= geo_.TotalBlocks()) {
+    return Status::OutOfRange("erase: bad block id " + std::to_string(block.value()));
+  }
+  BlockMeta& meta = blocks_[static_cast<std::size_t>(block.value())];
+  const std::uint64_t slots_per_block =
+      static_cast<std::uint64_t>(geo_.pages_per_block) * geo_.SlotsPerPage();
+  const std::uint64_t base = block.value() * slots_per_block;
+  for (std::uint64_t i = 0; i < slots_per_block; ++i) {
+    slots_[static_cast<std::size_t>(base + i)] = Slot{};
+  }
+  meta.next_slot = 0;
+  meta.valid_slots = 0;
+  meta.erase_count++;
+  if (geo_.IsSlcBlock(block)) {
+    counters_.erases_slc++;
+  } else {
+    counters_.erases_normal++;
+  }
+  return Status::Ok();
+}
+
+SlotState FlashArray::StateOfSlot(Ppn ppn) const {
+  if (ppn.value() >= geo_.TotalSlots()) return SlotState::kFree;
+  return slots_[SlotIndex(ppn)].state;
+}
+
+std::uint32_t FlashArray::NextProgramSlot(BlockId block) const {
+  return blocks_[static_cast<std::size_t>(block.value())].next_slot;
+}
+
+bool FlashArray::BlockFull(BlockId block) const {
+  return NextProgramSlot(block) >= UsableSlots(block);
+}
+
+std::uint32_t FlashArray::ValidSlots(BlockId block) const {
+  return blocks_[static_cast<std::size_t>(block.value())].valid_slots;
+}
+
+std::uint32_t FlashArray::EraseCount(BlockId block) const {
+  return blocks_[static_cast<std::size_t>(block.value())].erase_count;
+}
+
+}  // namespace conzone

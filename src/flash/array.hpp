@@ -1,0 +1,117 @@
+// Flash media state.
+//
+// `FlashArray` owns the logical state of every 4 KiB slot in the device:
+// free / valid / invalid, the payload token stored there, and the OOB
+// (out-of-band) back-pointer to the logical page that wrote it — which is
+// what real FTLs use during GC to find the forward-map entry to fix up.
+//
+// It enforces the NAND programming contract:
+//   - a block must be erased before it is reprogrammed;
+//   - programming within a block is strictly sequential;
+//   - normal (TLC/QLC) blocks program in whole one-shot units
+//     (`program_unit`, §II-A) — partial programming is an error;
+//   - SLC blocks may partial-program at slot (4 KiB) granularity, but
+//     only their derated capacity (1/bits-per-cell of the block) is
+//     usable.
+//
+// FlashArray is purely functional state — the time each operation takes
+// is the job of FlashTimingEngine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "flash/geometry.hpp"
+
+namespace conzone {
+
+enum class SlotState : std::uint8_t { kFree = 0, kValid = 1, kInvalid = 2 };
+
+/// One 4 KiB unit of data to program. `lpn` is recorded in the slot's OOB
+/// area; padding slots (alignment filler) carry an invalid lpn.
+struct SlotWrite {
+  Lpn lpn;
+  std::uint64_t token = 0;  ///< Payload fingerprint for integrity checks.
+};
+
+struct SlotRead {
+  SlotState state = SlotState::kFree;
+  Lpn lpn;
+  std::uint64_t token = 0;
+};
+
+/// Cumulative media counters, split by cell type — the denominator and
+/// numerator of write amplification live here.
+struct MediaCounters {
+  std::uint64_t slots_programmed_slc = 0;
+  std::uint64_t slots_programmed_normal = 0;
+  std::uint64_t page_reads = 0;
+  std::uint64_t erases_slc = 0;
+  std::uint64_t erases_normal = 0;
+
+  std::uint64_t TotalSlotsProgrammed() const {
+    return slots_programmed_slc + slots_programmed_normal;
+  }
+};
+
+class FlashArray {
+ public:
+  explicit FlashArray(const FlashGeometry& geometry);
+
+  const FlashGeometry& geometry() const { return geo_; }
+
+  /// Program `writes.size()` consecutive slots of `block`, starting at the
+  /// block's internal write position. Normal blocks additionally require
+  /// the write to be a whole number of program units.
+  Status ProgramSlots(BlockId block, std::span<const SlotWrite> writes);
+
+  /// State + OOB + payload of one slot (any state; callers check).
+  SlotRead ReadSlot(Ppn ppn) const;
+
+  /// Record a physical page read (for MediaCounters only; timing is the
+  /// engine's job).
+  void CountPageRead() { counters_.page_reads++; }
+
+  /// Mark a previously valid slot invalid (host overwrite / zone reset /
+  /// GC migration source).
+  Status InvalidateSlot(Ppn ppn);
+
+  Status EraseBlock(BlockId block);
+
+  // --- Inspectors ---
+  SlotState StateOfSlot(Ppn ppn) const;
+  std::uint32_t NextProgramSlot(BlockId block) const;
+  /// Usable slot capacity of the block (derated for SLC blocks).
+  std::uint32_t UsableSlots(BlockId block) const;
+  bool BlockFull(BlockId block) const;
+  std::uint32_t ValidSlots(BlockId block) const;
+  std::uint32_t EraseCount(BlockId block) const;
+  const MediaCounters& counters() const { return counters_; }
+  /// Zero the cumulative counters (benchmark phase boundaries).
+  void ResetCounters() { counters_ = MediaCounters{}; }
+
+ private:
+  struct BlockMeta {
+    std::uint32_t next_slot = 0;   // sequential-programming cursor
+    std::uint32_t valid_slots = 0;
+    std::uint32_t erase_count = 0;
+  };
+
+  struct Slot {
+    SlotState state = SlotState::kFree;
+    Lpn lpn;
+    std::uint64_t token = 0;
+  };
+
+  std::size_t SlotIndex(Ppn ppn) const { return static_cast<std::size_t>(ppn.value()); }
+
+  FlashGeometry geo_;
+  std::vector<Slot> slots_;
+  std::vector<BlockMeta> blocks_;
+  MediaCounters counters_;
+};
+
+}  // namespace conzone

@@ -1,0 +1,52 @@
+// Log-structured normal-region allocator (Legacy baseline and the
+// conventional-zone pool of ConZone).
+//
+// Traditional consumer flash storage (§II-A, the "Legacy" device of
+// §IV-A) has no zones: the controller appends wherever its write pointer
+// says, and a page-mapping table tracks every 4 KiB slot. This allocator
+// is that write pointer: it binds to a free normal superblock and hands
+// out one-shot program units striped across the chips; exhausted
+// superblocks are replaced from the pool, and the Legacy GC erases
+// victims back onto it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "flash/array.hpp"
+#include "flash/geometry.hpp"
+#include "flash/superblock.hpp"
+
+namespace conzone {
+
+class NormalAllocator {
+ public:
+  NormalAllocator(FlashArray& array, SuperblockPool& pool);
+
+  /// Program exactly one unit (program_unit bytes) of slots; `writes`
+  /// must contain unit/slot_size entries. Returns the PPN of each slot
+  /// and the chip that executed the program (for timing).
+  struct UnitResult {
+    std::vector<Ppn> ppns;
+    ChipId chip;
+  };
+  Result<UnitResult> ProgramUnit(std::span<const SlotWrite> writes);
+
+  SuperblockId current_superblock() const { return current_; }
+
+ private:
+  Status BindNextSuperblock();
+
+  FlashArray& array_;
+  SuperblockPool& pool_;
+  const FlashGeometry& geo_;
+
+  SuperblockId current_;
+  std::uint32_t row_ = 0;       // unit row within the superblock
+  std::uint32_t chip_off_ = 0;  // next chip within the row
+};
+
+}  // namespace conzone

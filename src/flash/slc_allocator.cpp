@@ -1,0 +1,53 @@
+#include "flash/slc_allocator.hpp"
+
+namespace conzone {
+
+SlcAllocator::SlcAllocator(FlashArray& array, SuperblockPool& pool)
+    : array_(array), pool_(pool), geo_(array.geometry()) {}
+
+Status SlcAllocator::BindNextSuperblock() {
+  auto sb = pool_.AllocateSlc();
+  if (!sb.ok()) return sb.status();
+  current_ = sb.value();
+  index_ = 0;
+  return Status::Ok();
+}
+
+std::uint64_t SlcAllocator::SlotsLeftInCurrent() const {
+  if (!current_.valid()) return 0;
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(geo_.SlcUsableSlotsPerBlock()) * geo_.NumChips();
+  return total - index_;
+}
+
+Result<std::vector<Ppn>> SlcAllocator::Program(std::span<const SlotWrite> writes) {
+  // Page-fill stripe order within the superblock: flat index i maps to
+  //   page row  = i / (slots_per_page * chips)
+  //   chip      = (i / slots_per_page) % chips
+  //   slot      = i % slots_per_page
+  const std::uint32_t spp = geo_.SlotsPerPage();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(geo_.SlcUsableSlotsPerBlock()) * geo_.NumChips();
+
+  std::vector<Ppn> ppns;
+  ppns.reserve(writes.size());
+  for (const SlotWrite& w : writes) {
+    if (!current_.valid() || index_ >= total) {
+      Status st = BindNextSuperblock();
+      if (!st.ok()) return st;
+    }
+    const std::uint32_t page_row = static_cast<std::uint32_t>(index_ / (spp * geo_.NumChips()));
+    const std::uint32_t chip = static_cast<std::uint32_t>((index_ / spp) % geo_.NumChips());
+    const std::uint32_t slot = static_cast<std::uint32_t>(index_ % spp);
+    const BlockId block = geo_.BlockOfSuperblock(current_, ChipId{chip});
+    // In this order each block's sequential cursor is page_row*spp + slot.
+    const SlotWrite one[] = {w};
+    Status st = array_.ProgramSlots(block, one);
+    if (!st.ok()) return st;
+    ppns.push_back(geo_.SlotAt(geo_.PageAt(block, page_row), slot));
+    ++index_;
+  }
+  return ppns;
+}
+
+}  // namespace conzone

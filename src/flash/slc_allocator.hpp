@@ -1,0 +1,55 @@
+// SLC-region write pointer.
+//
+// The paper (§III-B) keeps a separate write pointer per media region
+// because the programming units differ: the SLC secondary buffer can
+// partial-program at 4 KiB, the normal region programs one-shot units.
+// This allocator is the SLC pointer: it binds to a free SLC superblock
+// and iterates in *page-fill stripe order* — the four 4 KiB slots of one
+// page, then the same page of the next chip, then the next page row —
+// so a multi-slot premature flush batches into whole-page program pulses
+// spread across the chips, while a sub-page flush still partial-programs
+// a single page. When a superblock is exhausted the pointer rebinds to
+// the next free superblock from the pool.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "flash/array.hpp"
+#include "flash/geometry.hpp"
+#include "flash/superblock.hpp"
+
+namespace conzone {
+
+class SlcAllocator {
+ public:
+  SlcAllocator(FlashArray& array, SuperblockPool& pool);
+
+  /// Program `writes` at the SLC write pointer; returns the physical slot
+  /// of each write, in order. Fails with kResourceExhausted when the
+  /// region runs out of free superblocks (caller must GC first).
+  Result<std::vector<Ppn>> Program(std::span<const SlotWrite> writes);
+
+  /// Slots still available without taking another superblock from the
+  /// pool (GC trigger input).
+  std::uint64_t SlotsLeftInCurrent() const;
+
+  /// The superblock the pointer is currently bound to (invalid if none
+  /// yet). GC must never pick this as a victim.
+  SuperblockId current_superblock() const { return current_; }
+
+ private:
+  Status BindNextSuperblock();
+
+  FlashArray& array_;
+  SuperblockPool& pool_;
+  const FlashGeometry& geo_;
+
+  SuperblockId current_;   // invalid until first program
+  std::uint64_t index_ = 0;  // flat position in page-fill stripe order
+};
+
+}  // namespace conzone

@@ -1,0 +1,66 @@
+#include "flash/superblock.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace conzone {
+
+SuperblockPool::SuperblockPool(const FlashGeometry& geometry,
+                               std::uint32_t normal_pool_count)
+    : geo_(geometry) {
+  for (std::uint32_t s = 0; s < geo_.NumSlcSuperblocks(); ++s) {
+    free_slc_.emplace_back(SuperblockId(s));
+  }
+  const std::uint32_t normal_end =
+      geo_.NumSlcSuperblocks() +
+      std::min(normal_pool_count, geo_.NumNormalSuperblocks());
+  for (std::uint32_t s = geo_.NumSlcSuperblocks(); s < normal_end; ++s) {
+    free_normal_.emplace_back(SuperblockId(s));
+  }
+}
+
+Result<SuperblockId> SuperblockPool::AllocateNormal() {
+  if (free_normal_.empty()) {
+    return Status::ResourceExhausted("no free normal superblocks; GC required");
+  }
+  SuperblockId sb = free_normal_.front();
+  free_normal_.pop_front();
+  return sb;
+}
+
+Status SuperblockPool::ReleaseNormal(SuperblockId sb) {
+  if (geo_.IsSlcSuperblock(sb) || sb.value() >= geo_.NumSuperblocks()) {
+    return Status::InvalidArgument("superblock " + std::to_string(sb.value()) +
+                                   " is not in the normal region");
+  }
+  if (std::find(free_normal_.begin(), free_normal_.end(), sb) != free_normal_.end()) {
+    return Status::FailedPrecondition("superblock " + std::to_string(sb.value()) +
+                                      " already free");
+  }
+  free_normal_.push_back(sb);
+  return Status::Ok();
+}
+
+Result<SuperblockId> SuperblockPool::AllocateSlc() {
+  if (free_slc_.empty()) {
+    return Status::ResourceExhausted("no free SLC superblocks; GC required");
+  }
+  SuperblockId sb = free_slc_.front();
+  free_slc_.pop_front();
+  return sb;
+}
+
+Status SuperblockPool::ReleaseSlc(SuperblockId sb) {
+  if (!geo_.IsSlcSuperblock(sb)) {
+    return Status::InvalidArgument("superblock " + std::to_string(sb.value()) +
+                                   " is not in the SLC region");
+  }
+  if (std::find(free_slc_.begin(), free_slc_.end(), sb) != free_slc_.end()) {
+    return Status::FailedPrecondition("superblock " + std::to_string(sb.value()) +
+                                      " already free");
+  }
+  free_slc_.push_back(sb);
+  return Status::Ok();
+}
+
+}  // namespace conzone

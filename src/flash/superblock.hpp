@@ -1,0 +1,52 @@
+// Superblock free-list management.
+//
+// Superblock s = the blocks with in-chip index s across every chip
+// (paper §II-A). The SLC region's superblocks cycle through a free list:
+// the secondary write buffer consumes them and the composite GC (§III-D)
+// erases victims back onto the list. ConZone statically reserves the
+// normal region's superblocks for zones and never touches the normal
+// free list; the Legacy baseline (traditional FTL, §IV-A) allocates them
+// dynamically through it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "flash/geometry.hpp"
+
+namespace conzone {
+
+class SuperblockPool {
+ public:
+  /// `normal_pool_count` limits the normal free list to the first that
+  /// many normal superblocks (UINT32_MAX = all; ConZone restricts it to
+  /// the conventional-zone backing, Legacy uses the whole region).
+  explicit SuperblockPool(const FlashGeometry& geometry,
+                          std::uint32_t normal_pool_count = ~0u);
+
+  /// Take a free SLC superblock (FIFO order, which gives natural wear
+  /// leveling across the region).
+  Result<SuperblockId> AllocateSlc();
+
+  /// Return an erased SLC superblock to the free list.
+  Status ReleaseSlc(SuperblockId sb);
+
+  std::size_t FreeSlcCount() const { return free_slc_.size(); }
+  std::uint32_t TotalSlcCount() const { return geo_.NumSlcSuperblocks(); }
+
+  /// Take a free normal-region superblock (Legacy FTL allocation).
+  Result<SuperblockId> AllocateNormal();
+  /// Return an erased normal superblock to the free list.
+  Status ReleaseNormal(SuperblockId sb);
+  std::size_t FreeNormalCount() const { return free_normal_.size(); }
+  std::uint32_t TotalNormalCount() const { return geo_.NumNormalSuperblocks(); }
+
+ private:
+  FlashGeometry geo_;
+  std::deque<SuperblockId> free_slc_;
+  std::deque<SuperblockId> free_normal_;
+};
+
+}  // namespace conzone

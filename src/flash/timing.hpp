@@ -1,0 +1,66 @@
+// Media timing model (paper Table II) and channel transfer model.
+//
+// Latencies default to the published numbers the paper adopts:
+//
+//              SLC          TLC            QLC
+//   Program    75 us [27]   937.5 us [28]  6400 us [29]
+//   Read       20 us        32 us [28]     85 us [29]
+//
+// Erase times are not in Table II; we use typical 3D NAND block erase
+// figures (3.5 ms) — they only matter for GC and zone-reset costs.
+// The channel model is a shared bus per channel at a configurable
+// bandwidth (default 3200 MiB/s, the UFS 4.0-derived figure from §IV-A).
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "flash/cell.hpp"
+
+namespace conzone {
+
+struct MediaTiming {
+  SimDuration read_latency;
+  SimDuration program_latency;
+  SimDuration erase_latency;
+};
+
+struct TimingConfig {
+  MediaTiming slc{SimDuration::Micros(20), SimDuration::Micros(75),
+                  SimDuration::Millis(3)};
+  MediaTiming tlc{SimDuration::Micros(32), SimDuration::MicrosF(937.5),
+                  SimDuration::MicrosF(3500)};
+  MediaTiming qlc{SimDuration::Micros(85), SimDuration::Micros(6400),
+                  SimDuration::MicrosF(3500)};
+
+  /// Channel (flash bus) bandwidth in bytes/second. §IV-A: 3200 MiB/s.
+  std::uint64_t channel_bandwidth_bps = 3200 * kMiB;
+
+  /// Program-suspend-to-read: mobile NAND lets a read preempt an ongoing
+  /// program pulse at a fixed penalty instead of queueing behind it.
+  /// Without it, the fold-back path (§III-B ③) serializes behind every
+  /// in-flight one-shot program.
+  bool program_suspend_reads = true;
+  SimDuration read_suspend_penalty = SimDuration::Micros(40);
+
+  const MediaTiming& For(CellType t) const {
+    switch (t) {
+      case CellType::kSlc: return slc;
+      case CellType::kTlc: return tlc;
+      case CellType::kQlc: return qlc;
+    }
+    return slc;
+  }
+
+  /// Time to move `bytes` over one channel.
+  SimDuration TransferTime(std::uint64_t bytes) const {
+    if (channel_bandwidth_bps == 0) return SimDuration();  // ideal bus (FEMU mode)
+    // ns = bytes / (B/s) * 1e9, computed in 128-bit to avoid overflow.
+    const unsigned __int128 ns =
+        static_cast<unsigned __int128>(bytes) * 1000000000ull / channel_bandwidth_bps;
+    return SimDuration::Nanos(static_cast<std::uint64_t>(ns));
+  }
+};
+
+}  // namespace conzone

@@ -1,0 +1,125 @@
+#include "flash/timing_engine.hpp"
+
+#include <cassert>
+
+namespace conzone {
+
+FlashTimingEngine::FlashTimingEngine(const FlashGeometry& geometry,
+                                     const TimingConfig& timing)
+    : geo_(geometry), timing_(timing) {
+  chips_.resize(geo_.NumChips());
+  chip_reads_.resize(geo_.NumChips());
+  channels_.resize(geo_.channels);
+  last_pulse_start_.resize(geo_.NumChips(), SimTime::Zero());
+}
+
+SimTime FlashTimingEngine::ReadPage(ChipId chip, CellType cell, std::uint64_t bytes,
+                                    SimTime issue) {
+  assert(chip.value() < chips_.size());
+  auto& die = chips_[static_cast<std::size_t>(chip.value())];
+  auto& bus = channels_[static_cast<std::size_t>(geo_.ChannelOfChip(chip).value())];
+
+  ResourceTimeline::Reservation sense;
+  if (timing_.program_suspend_reads) {
+    // The sense preempts any in-flight program pulse (at a penalty)
+    // instead of queueing behind it; reads still serialize against each
+    // other on the die's read path.
+    auto& reads = chip_reads_[static_cast<std::size_t>(chip.value())];
+    const bool program_in_flight = die.busy_until() > issue;
+    SimDuration cost = timing_.For(cell).read_latency;
+    if (program_in_flight) cost += timing_.read_suspend_penalty;
+    sense = reads.Reserve(issue, cost);
+  } else {
+    sense = die.Reserve(issue, timing_.For(cell).read_latency);
+  }
+  const auto xfer = bus.Reserve(sense.end, timing_.TransferTime(bytes));
+  if (!timing_.program_suspend_reads && xfer.end > die.busy_until()) {
+    // The die's register holds the data until the bus drains it; extend
+    // the die occupancy without double-counting utilization.
+    die.Reserve(die.busy_until(), xfer.end - die.busy_until());
+  }
+  return xfer.end;
+}
+
+FlashTimingEngine::ProgramResult FlashTimingEngine::Program(ChipId chip, CellType cell,
+                                                            std::uint64_t bytes,
+                                                            SimTime issue) {
+  assert(chip.value() < chips_.size());
+  auto& die = chips_[static_cast<std::size_t>(chip.value())];
+  auto& bus = channels_[static_cast<std::size_t>(geo_.ChannelOfChip(chip).value())];
+
+  // Cache-register pipelining, one level deep: the transfer may overlap
+  // the die's in-flight pulse, but only once that pulse has latched the
+  // register (pulse start).
+  const SimTime reg_free = last_pulse_start_[static_cast<std::size_t>(chip.value())];
+  const auto xfer = bus.Reserve(Later(issue, reg_free), timing_.TransferTime(bytes));
+  const auto pulse = die.Reserve(xfer.end, timing_.For(cell).program_latency);
+  last_pulse_start_[static_cast<std::size_t>(chip.value())] = pulse.start;
+  return ProgramResult{xfer.end, pulse.end};
+}
+
+FlashTimingEngine::ProgramResult FlashTimingEngine::ProgramFold(
+    ChipId chip, CellType cell, std::uint64_t total_bytes, std::uint64_t fresh_bytes,
+    SimTime fresh_ready, SimTime staged_ready) {
+  assert(chip.value() < chips_.size());
+  auto& die = chips_[static_cast<std::size_t>(chip.value())];
+  auto& bus = channels_[static_cast<std::size_t>(geo_.ChannelOfChip(chip).value())];
+
+  // The fresh (write-buffer) part streams into the die's cache register
+  // as soon as the register is free — this is the moment the buffer SRAM
+  // is reusable. The folded (SLC read-back) part streams once its reads
+  // complete; the pulse fires when the whole unit is assembled.
+  const SimTime reg_free = last_pulse_start_[static_cast<std::size_t>(chip.value())];
+  const auto fresh =
+      bus.Reserve(Later(fresh_ready, reg_free), timing_.TransferTime(fresh_bytes));
+  const auto staged = bus.Reserve(Later(staged_ready, fresh.end),
+                                  timing_.TransferTime(total_bytes - fresh_bytes));
+  const auto pulse = die.Reserve(staged.end, timing_.For(cell).program_latency);
+  last_pulse_start_[static_cast<std::size_t>(chip.value())] = pulse.start;
+  return ProgramResult{fresh.end, pulse.end};
+}
+
+SimTime FlashTimingEngine::Erase(ChipId chip, CellType cell, SimTime issue) {
+  assert(chip.value() < chips_.size());
+  auto& die = chips_[static_cast<std::size_t>(chip.value())];
+  return die.Reserve(issue, timing_.For(cell).erase_latency).end;
+}
+
+SimTime FlashTimingEngine::ChipIdleAt(ChipId chip) const {
+  return chips_[static_cast<std::size_t>(chip.value())].busy_until();
+}
+
+SimDuration FlashTimingEngine::TotalChipBusy() const {
+  SimDuration total;
+  for (const auto& c : chips_) total += c.busy_time();
+  for (const auto& c : chip_reads_) total += c.busy_time();
+  return total;
+}
+
+SimDuration FlashTimingEngine::TotalChannelBusy() const {
+  SimDuration total;
+  for (const auto& c : channels_) total += c.busy_time();
+  return total;
+}
+
+FlashTimingEngine::ProgramResult ProgramSlcSlots(FlashTimingEngine& engine,
+                                                 const FlashGeometry& geo,
+                                                 std::span<const Ppn> ppns,
+                                                 SimTime issue) {
+  FlashTimingEngine::ProgramResult out{issue, issue};
+  std::size_t i = 0;
+  while (i < ppns.size()) {
+    const FlashPageId page = geo.PageOfSlot(ppns[i]);
+    std::size_t j = i + 1;
+    while (j < ppns.size() && geo.PageOfSlot(ppns[j]) == page) ++j;
+    const auto prog = engine.Program(geo.ChipOfBlock(geo.BlockOfPage(page)),
+                                     CellType::kSlc,
+                                     (j - i) * geo.slot_size, issue);
+    out.data_in = Later(out.data_in, prog.data_in);
+    out.end = Later(out.end, prog.end);
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace conzone

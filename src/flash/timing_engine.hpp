@@ -1,0 +1,88 @@
+// Flash operation scheduling on contended chip/channel resources.
+//
+// Each die and each channel bus is a ResourceTimeline. Operations are
+// scheduled with the classic ordering:
+//
+//   read:    [chip: sense tR] -> [channel: transfer out] (chip holds its
+//            data register until the transfer drains);
+//   program: [channel: transfer in] -> [chip: program tPROG];
+//   erase:   [chip: tERASE].
+//
+// Ops on different chips overlap freely; the two chips of one channel
+// contend for the bus — which is exactly the mechanism that lets a
+// superpage flush engage all four chips in parallel (paper §II-A) while
+// the 3200 MiB/s UFS-class bus still bounds burst transfer rates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "flash/geometry.hpp"
+#include "flash/timing.hpp"
+#include "sim/resource.hpp"
+
+namespace conzone {
+
+class FlashTimingEngine {
+ public:
+  FlashTimingEngine(const FlashGeometry& geometry, const TimingConfig& timing);
+
+  /// Sense one page of `cell` media on `chip` and stream `bytes` out over
+  /// the chip's channel. Returns the completion time.
+  SimTime ReadPage(ChipId chip, CellType cell, std::uint64_t bytes, SimTime issue);
+
+  struct ProgramResult {
+    /// When the source buffer is drained (data fully streamed into the
+    /// die's register) — the write-buffer SRAM is reusable from here.
+    SimTime data_in;
+    /// When the program pulse finishes (data durable on media).
+    SimTime end;
+  };
+  /// Stream `bytes` to `chip` and run one program pulse of `cell` media.
+  ProgramResult Program(ChipId chip, CellType cell, std::uint64_t bytes, SimTime issue);
+
+  /// Fold-back program (§III-B ③): `fresh_bytes` come from the write
+  /// buffer (available at `fresh_ready`, and releasing it at data_in),
+  /// the rest from SLC read-back completing at `staged_ready`.
+  ProgramResult ProgramFold(ChipId chip, CellType cell, std::uint64_t total_bytes,
+                            std::uint64_t fresh_bytes, SimTime fresh_ready,
+                            SimTime staged_ready);
+
+  SimTime Erase(ChipId chip, CellType cell, SimTime issue);
+
+  /// When `chip` next goes idle (for GC scheduling heuristics).
+  SimTime ChipIdleAt(ChipId chip) const;
+
+  const TimingConfig& timing() const { return timing_; }
+
+  /// Aggregate busy time across chips/channels (utilization reporting).
+  SimDuration TotalChipBusy() const;
+  SimDuration TotalChannelBusy() const;
+
+ private:
+  FlashGeometry geo_;
+  TimingConfig timing_;
+  std::vector<ResourceTimeline> chips_;       ///< Program/erase path per die.
+  std::vector<ResourceTimeline> chip_reads_;  ///< Suspend-mode read path per die.
+  std::vector<ResourceTimeline> channels_;
+  /// Start time of each die's most recent program pulse. The die's single
+  /// cache register frees when the pulse latches it into the array, so
+  /// the *next* program's transfer may begin then — one-deep pipelining,
+  /// which is what bounds host-visible write throughput to the pulse
+  /// cadence instead of RAM speed.
+  std::vector<SimTime> last_pulse_start_;
+};
+
+/// Program a run of SLC slots allocated in page-fill stripe order: slots
+/// sharing a flash page batch into one program pulse (partial page
+/// programs still cost a full pulse). Returns the latest data-in and
+/// pulse-end times across the groups.
+FlashTimingEngine::ProgramResult ProgramSlcSlots(FlashTimingEngine& engine,
+                                                 const FlashGeometry& geo,
+                                                 std::span<const Ppn> ppns,
+                                                 SimTime issue);
+
+}  // namespace conzone

@@ -1,0 +1,123 @@
+#include "ftl/l2p_cache.hpp"
+
+#include <cassert>
+
+namespace conzone {
+
+L2PCache::L2PCache(const L2pCacheConfig& config)
+    : cfg_(config), max_entries_(config.MaxEntries()) {
+  assert(cfg_.lpns_per_zone % cfg_.lpns_per_chunk == 0);
+}
+
+std::uint64_t L2PCache::UnitLpns(MapGranularity g) const {
+  switch (g) {
+    case MapGranularity::kPage: return 1;
+    case MapGranularity::kChunk: return cfg_.lpns_per_chunk;
+    case MapGranularity::kZone: return cfg_.lpns_per_zone;
+  }
+  return 1;
+}
+
+L2pKey L2PCache::KeyFor(MapGranularity g, Lpn lpn) const {
+  return L2pKey{g, lpn.value() / UnitLpns(g)};
+}
+
+std::optional<Ppn> L2PCache::Lookup(const L2pKey& key) {
+  ++stats_.lookups;
+  auto it = map_.find(key.Encoded());
+  if (it == map_.end()) return std::nullopt;
+  ++stats_.hits;
+  // Refresh recency.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->base_ppn;
+}
+
+std::optional<Ppn> L2PCache::Peek(const L2pKey& key) const {
+  auto it = map_.find(key.Encoded());
+  if (it == map_.end()) return std::nullopt;
+  return it->second->base_ppn;
+}
+
+void L2PCache::EvictOne() {
+  for (auto it = lru_.end(); it != lru_.begin();) {
+    --it;
+    if (it->pinned) continue;
+    map_.erase(it->key.Encoded());
+    lru_.erase(it);
+    ++stats_.evictions;
+    return;
+  }
+}
+
+void L2PCache::Insert(const L2pKey& key, Ppn base_ppn, bool pinned) {
+  auto it = map_.find(key.Encoded());
+  if (it != map_.end()) {
+    // Refresh in place.
+    if (it->second->pinned && !pinned) --pinned_count_;
+    if (!it->second->pinned && pinned) ++pinned_count_;
+    it->second->base_ppn = base_ppn;
+    it->second->pinned = pinned;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (max_entries_ == 0) return;
+  if (map_.size() >= max_entries_) {
+    if (pinned_count_ >= max_entries_ && !pinned) {
+      // Nothing evictable; drop the insertion rather than overflow SRAM.
+      ++stats_.rejected_insertions;
+      return;
+    }
+    EvictOne();
+    if (map_.size() >= max_entries_) {
+      ++stats_.rejected_insertions;
+      return;
+    }
+  }
+  lru_.push_front(Entry{key, base_ppn, pinned});
+  map_.emplace(key.Encoded(), lru_.begin());
+  if (pinned) ++pinned_count_;
+  ++stats_.insertions;
+}
+
+void L2PCache::Erase(const L2pKey& key) {
+  auto it = map_.find(key.Encoded());
+  if (it == map_.end()) return;
+  if (it->second->pinned) --pinned_count_;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void L2PCache::EvictCoveredBy(const L2pKey& key) {
+  const std::uint64_t unit = UnitLpns(key.gran);
+  const std::uint64_t start = key.index * unit;
+  if (key.gran == MapGranularity::kPage) return;
+  // Chunk entries covered (only when key is a zone).
+  if (key.gran == MapGranularity::kZone) {
+    const std::uint64_t chunks = unit / cfg_.lpns_per_chunk;
+    const std::uint64_t first = start / cfg_.lpns_per_chunk;
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      Erase(L2pKey{MapGranularity::kChunk, first + c});
+    }
+  }
+  // Page entries covered. Ranges are at most one zone (4096 keys) — cheap
+  // relative to the flash ops that trigger aggregation.
+  for (std::uint64_t i = 0; i < unit; ++i) {
+    Erase(L2pKey{MapGranularity::kPage, start + i});
+  }
+}
+
+void L2PCache::InvalidateLpnRange(Lpn start, std::uint64_t count) {
+  const std::uint64_t lo = start.value();
+  const std::uint64_t hi = lo + count;  // exclusive
+  for (std::uint64_t lpn = lo; lpn < hi; ++lpn) {
+    Erase(L2pKey{MapGranularity::kPage, lpn});
+  }
+  for (std::uint64_t c = lo / cfg_.lpns_per_chunk; c * cfg_.lpns_per_chunk < hi; ++c) {
+    Erase(L2pKey{MapGranularity::kChunk, c});
+  }
+  for (std::uint64_t z = lo / cfg_.lpns_per_zone; z * cfg_.lpns_per_zone < hi; ++z) {
+    Erase(L2pKey{MapGranularity::kZone, z});
+  }
+}
+
+}  // namespace conzone

@@ -1,0 +1,83 @@
+// L2P mapping-table update log (paper §III-E, "Persistence of L2P
+// Mapping Table Updates" — listed as future work in ConZone; implemented
+// here as an optional extension).
+//
+// The mapping table lives in flash, but updating a 4 B entry cannot
+// rewrite a 16 KiB metadata page each time. Consumer firmware instead
+// accumulates updates in a volatile *L2P log* and flushes the log to
+// flash once enough entries gather — and "the flushing back of the L2P
+// log may block host requests". This model charges exactly that: every
+// mapping update appends one entry; when the log reaches its flush
+// threshold the owning device must program it to a metadata flash page
+// before the triggering operation completes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace conzone {
+
+struct L2pLogConfig {
+  bool enabled = false;
+  /// Bytes of one log entry (compact LPN->PPN delta record).
+  std::uint32_t entry_bytes = 8;
+  /// Flush once the accumulated log reaches this size (one metadata
+  /// flash page by default).
+  std::uint64_t flush_threshold_bytes = 16 * kKiB;
+
+  Status Validate() const {
+    if (!enabled) return Status::Ok();
+    if (entry_bytes == 0 || flush_threshold_bytes < entry_bytes) {
+      return Status::InvalidArgument("l2p log: threshold below entry size");
+    }
+    return Status::Ok();
+  }
+};
+
+struct L2pLogStats {
+  std::uint64_t entries_appended = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t bytes_flushed = 0;
+};
+
+/// Volatile accumulation state; the owning device supplies the flash
+/// timing when `NeedsFlush()` fires.
+class L2pLog {
+ public:
+  explicit L2pLog(const L2pLogConfig& config) : cfg_(config) {}
+
+  bool enabled() const { return cfg_.enabled; }
+
+  /// Record `count` mapping-table updates.
+  void Append(std::uint64_t count) {
+    if (!cfg_.enabled) return;
+    pending_bytes_ += count * cfg_.entry_bytes;
+    stats_.entries_appended += count;
+  }
+
+  bool NeedsFlush() const {
+    return cfg_.enabled && pending_bytes_ >= cfg_.flush_threshold_bytes;
+  }
+
+  /// Bytes the device must program right now; resets the pending count.
+  /// Call only when NeedsFlush() (or at shutdown for the tail).
+  std::uint64_t TakeFlushBytes() {
+    const std::uint64_t bytes = pending_bytes_;
+    pending_bytes_ = 0;
+    ++stats_.flushes;
+    stats_.bytes_flushed += bytes;
+    return bytes;
+  }
+
+  std::uint64_t pending_bytes() const { return pending_bytes_; }
+  const L2pLogStats& stats() const { return stats_; }
+
+ private:
+  L2pLogConfig cfg_;
+  std::uint64_t pending_bytes_ = 0;
+  L2pLogStats stats_;
+};
+
+}  // namespace conzone

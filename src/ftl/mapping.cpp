@@ -1,0 +1,57 @@
+#include "ftl/mapping.hpp"
+
+#include <cassert>
+
+#include "common/units.hpp"
+
+namespace conzone {
+
+MappingTable::MappingTable(const MappingGeometry& geometry) : geo_(geometry) {
+  assert(geo_.num_lpns > 0);
+  assert(geo_.lpns_per_chunk > 0);
+  assert(geo_.lpns_per_zone % geo_.lpns_per_chunk == 0 &&
+         "a zone must be a whole number of chunks");
+  entries_.resize(static_cast<std::size_t>(geo_.num_lpns));
+}
+
+void MappingTable::Set(Lpn lpn, Ppn ppn) {
+  assert(lpn.value() < geo_.num_lpns);
+  MapEntry& e = entries_[static_cast<std::size_t>(lpn.value())];
+  if (!e.mapped()) ++mapped_;
+  e.ppn = ppn;
+  e.gran = MapGranularity::kPage;
+}
+
+void MappingTable::Unmap(Lpn lpn) {
+  assert(lpn.value() < geo_.num_lpns);
+  MapEntry& e = entries_[static_cast<std::size_t>(lpn.value())];
+  if (e.mapped()) --mapped_;
+  e = MapEntry{};
+}
+
+MapEntry MappingTable::Get(Lpn lpn) const {
+  assert(lpn.value() < geo_.num_lpns);
+  return entries_[static_cast<std::size_t>(lpn.value())];
+}
+
+void MappingTable::SetAggregated(Lpn start, std::uint64_t count, MapGranularity gran) {
+  assert(start.value() + count <= geo_.num_lpns);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    MapEntry& e = entries_[static_cast<std::size_t>(start.value() + i)];
+    assert(e.mapped() && "cannot aggregate unmapped entries");
+    e.gran = gran;
+  }
+}
+
+void MappingTable::DowngradeToPage(Lpn start, std::uint64_t count) {
+  assert(start.value() + count <= geo_.num_lpns);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    entries_[static_cast<std::size_t>(start.value() + i)].gran = MapGranularity::kPage;
+  }
+}
+
+std::uint64_t MappingTable::NumMapPages() const {
+  return CeilDiv(geo_.num_lpns, geo_.entries_per_map_page);
+}
+
+}  // namespace conzone

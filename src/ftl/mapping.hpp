@@ -1,0 +1,92 @@
+// Page-mapping table with hybrid-aggregation map bits (paper §III-C, Fig. 5).
+//
+// The FTL always records a full page-granularity L2P table ("FTL still
+// uses page mapping to record all mapping information"). Two reserved
+// bits per entry — the *map bits* — mark whether the entry belongs to a
+// logically & physically contiguous run that has been aggregated at
+// chunk (1024 LPAs = 4 MiB) or zone granularity. Aggregated runs can be
+// represented by a single L2P cache entry, stretching the tiny consumer
+// L2P cache across a much larger address range.
+//
+// The table itself lives in flash; `MapPageOf()` says which metadata
+// flash page holds a given entry so the read path can charge the right
+// number of flash reads on an L2P cache miss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/status.hpp"
+
+namespace conzone {
+
+enum class MapGranularity : std::uint8_t { kPage = 0, kChunk = 1, kZone = 2 };
+
+constexpr const char* MapGranularityName(MapGranularity g) {
+  switch (g) {
+    case MapGranularity::kPage: return "page";
+    case MapGranularity::kChunk: return "chunk";
+    case MapGranularity::kZone: return "zone";
+  }
+  return "?";
+}
+
+struct MapEntry {
+  Ppn ppn;                                         ///< Invalid if unmapped.
+  MapGranularity gran = MapGranularity::kPage;     ///< The map bits.
+  bool mapped() const { return ppn.valid(); }
+};
+
+struct MappingGeometry {
+  std::uint64_t num_lpns = 0;          ///< Logical 4 KiB pages.
+  std::uint32_t lpns_per_chunk = 1024; ///< 4 MiB chunks (§III-A).
+  std::uint32_t lpns_per_zone = 4096;  ///< Zone size in LPAs.
+  /// L2P entries per 16 KiB metadata flash page (16 KiB / 4 B).
+  std::uint32_t entries_per_map_page = 4096;
+};
+
+class MappingTable {
+ public:
+  explicit MappingTable(const MappingGeometry& geometry);
+
+  const MappingGeometry& geometry() const { return geo_; }
+
+  /// Point `lpn` at `ppn` with page-granularity map bits. Any previous
+  /// aggregation covering `lpn` must have been downgraded first.
+  void Set(Lpn lpn, Ppn ppn);
+
+  /// Drop the mapping (zone reset / TRIM).
+  void Unmap(Lpn lpn);
+
+  MapEntry Get(Lpn lpn) const;
+
+  /// Stamp the map bits of `count` entries starting at `start` as
+  /// aggregated at `gran`. The caller has already verified physical
+  /// contiguity against the reserved zone layout (§III-C ②).
+  void SetAggregated(Lpn start, std::uint64_t count, MapGranularity gran);
+
+  /// Reset map bits of a range to page granularity (contiguity broken,
+  /// e.g. data re-staged to SLC after a zone reset + rewrite).
+  void DowngradeToPage(Lpn start, std::uint64_t count);
+
+  // --- Address helpers ---
+  ChunkId ChunkOf(Lpn lpn) const { return ChunkId(lpn.value() / geo_.lpns_per_chunk); }
+  ZoneId ZoneOf(Lpn lpn) const { return ZoneId(lpn.value() / geo_.lpns_per_zone); }
+  Lpn ChunkBase(ChunkId c) const { return Lpn(c.value() * geo_.lpns_per_chunk); }
+  Lpn ZoneBase(ZoneId z) const { return Lpn(z.value() * geo_.lpns_per_zone); }
+
+  /// Metadata flash page holding the entry for `lpn`.
+  std::uint64_t MapPageOf(Lpn lpn) const { return lpn.value() / geo_.entries_per_map_page; }
+  std::uint64_t NumMapPages() const;
+
+  /// Number of currently mapped entries (diagnostics).
+  std::uint64_t mapped_count() const { return mapped_; }
+
+ private:
+  MappingGeometry geo_;
+  std::vector<MapEntry> entries_;
+  std::uint64_t mapped_ = 0;
+};
+
+}  // namespace conzone

@@ -1,0 +1,168 @@
+#include "gc/slc_gc.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace conzone {
+
+Status GcConfig::Validate() const {
+  if (low_watermark == 0) {
+    return Status::InvalidArgument("gc: watermark must be >= 1 (allocator headroom)");
+  }
+  if (reclaim_target < low_watermark) {
+    return Status::InvalidArgument("gc: reclaim target below watermark");
+  }
+  return Status::Ok();
+}
+
+SlcGarbageCollector::SlcGarbageCollector(FlashArray& array, FlashTimingEngine& engine,
+                                         SuperblockPool& pool, SlcAllocator& allocator,
+                                         const GcConfig& config)
+    : array_(array), engine_(engine), pool_(pool), alloc_(allocator), cfg_(config) {}
+
+SuperblockId SlcGarbageCollector::SelectVictim() const {
+  const FlashGeometry& geo = array_.geometry();
+  SuperblockId best;
+  std::uint64_t best_valid = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint32_t s = 0; s < geo.NumSlcSuperblocks(); ++s) {
+    const SuperblockId sb{s};
+    if (sb == alloc_.current_superblock()) continue;
+    std::uint64_t valid = 0;
+    std::uint64_t used = 0;
+    for (std::uint32_t c = 0; c < geo.NumChips(); ++c) {
+      const BlockId b = geo.BlockOfSuperblock(sb, ChipId{c});
+      valid += array_.ValidSlots(b);
+      used += array_.NextProgramSlot(b);
+    }
+    if (used == 0) continue;  // free-list member or never written
+    if (valid < best_valid) {
+      best_valid = valid;
+      best = sb;
+    }
+  }
+  return best;
+}
+
+Result<SimTime> SlcGarbageCollector::CollectOne(SuperblockId victim, SimTime now) {
+  const FlashGeometry& geo = array_.geometry();
+  ++stats_.victims;
+
+  // Gather valid slots, grouped per flash page so each page costs one
+  // sense + one transfer of its live 4 KiB slots.
+  struct Live {
+    Ppn old_ppn;
+    SlotWrite data;
+  };
+  std::vector<Live> live;
+  SimTime reads_done = now;
+  for (std::uint32_t c = 0; c < geo.NumChips(); ++c) {
+    const BlockId b = geo.BlockOfSuperblock(victim, ChipId{c});
+    const std::uint32_t used = array_.NextProgramSlot(b);
+    std::uint32_t page_live = 0;
+    std::uint32_t current_page = std::numeric_limits<std::uint32_t>::max();
+    auto flush_page_read = [&](std::uint32_t page) {
+      if (page_live == 0) return;
+      array_.CountPageRead();
+      const SimTime end = engine_.ReadPage(ChipId{c}, CellType::kSlc,
+                                           page_live * geo.slot_size, now);
+      reads_done = Later(reads_done, end);
+      page_live = 0;
+      (void)page;
+    };
+    for (std::uint32_t i = 0; i < used; ++i) {
+      const std::uint32_t page_in_block = i / geo.SlotsPerPage();
+      const std::uint32_t slot_in_page = i % geo.SlotsPerPage();
+      const Ppn ppn = geo.SlotAt(geo.PageAt(b, page_in_block), slot_in_page);
+      if (array_.StateOfSlot(ppn) != SlotState::kValid) continue;
+      if (page_in_block != current_page) {
+        flush_page_read(current_page);
+        current_page = page_in_block;
+      }
+      ++page_live;
+      const SlotRead r = array_.ReadSlot(ppn);
+      live.push_back(Live{ppn, SlotWrite{r.lpn, r.token}});
+    }
+    flush_page_read(current_page);
+  }
+
+  // Partition: slots the owner wants out of SLC entirely (no fold-back
+  // will ever drain them) versus slots re-staged within the region.
+  std::vector<Live> keep;
+  std::vector<SlotWrite> evict_data;
+  std::vector<Ppn> evict_old;
+  for (const Live& l : live) {
+    if (evict_filter_ && evict_ && evict_filter_(l.data.lpn)) {
+      evict_data.push_back(l.data);
+      evict_old.push_back(l.old_ppn);
+    } else {
+      keep.push_back(l);
+    }
+  }
+
+  SimTime progs_done = reads_done;
+  if (!evict_data.empty()) {
+    auto done = evict_(std::move(evict_data), reads_done);
+    if (!done.ok()) return done.status();
+    progs_done = Later(progs_done, done.value());
+    for (const Ppn old : evict_old) {
+      if (Status st = array_.InvalidateSlot(old); !st.ok()) return st;
+      ++stats_.slots_migrated;
+    }
+  }
+
+  // Migrate the rest within the SLC region through the write pointer.
+  if (!keep.empty()) {
+    std::vector<SlotWrite> writes;
+    writes.reserve(keep.size());
+    for (const Live& l : keep) writes.push_back(l.data);
+    auto ppns = alloc_.Program(writes);
+    if (!ppns.ok()) return ppns.status();
+    progs_done = Later(progs_done,
+                       ProgramSlcSlots(engine_, geo, ppns.value(), reads_done).end);
+    for (std::size_t i = 0; i < keep.size(); ++i) {
+      const Ppn new_ppn = ppns.value()[i];
+      if (remap_) remap_(keep[i].data.lpn, keep[i].old_ppn, new_ppn);
+      if (Status st = array_.InvalidateSlot(keep[i].old_ppn); !st.ok()) return st;
+      ++stats_.slots_migrated;
+    }
+  }
+
+  // Erase the victim's blocks (all chips in parallel) and free it.
+  SimTime erases_done = progs_done;
+  for (std::uint32_t c = 0; c < geo.NumChips(); ++c) {
+    const BlockId b = geo.BlockOfSuperblock(victim, ChipId{c});
+    if (Status st = array_.EraseBlock(b); !st.ok()) return st;
+    erases_done = Later(erases_done, engine_.Erase(ChipId{c}, CellType::kSlc, progs_done));
+  }
+  ++stats_.superblocks_erased;
+  if (Status st = pool_.ReleaseSlc(victim); !st.ok()) return st;
+  return erases_done;
+}
+
+Result<SimTime> SlcGarbageCollector::Run(SimTime now) {
+  ++stats_.runs;
+  SimTime t = now;
+  while (pool_.FreeSlcCount() < cfg_.reclaim_target) {
+    const SuperblockId victim = SelectVictim();
+    if (!victim.valid()) {
+      if (pool_.FreeSlcCount() == 0) {
+        return Status::ResourceExhausted("SLC region exhausted and no GC victim");
+      }
+      break;  // nothing reclaimable; live with what we have
+    }
+    const std::size_t free_before = pool_.FreeSlcCount();
+    auto done = CollectOne(victim, t);
+    if (!done.ok()) return done.status();
+    t = done.value();
+    if (pool_.FreeSlcCount() <= free_before) {
+      // The victim's live data consumed as much as the erase reclaimed —
+      // the region is effectively full of valid data; compacting further
+      // cannot help until the host invalidates something.
+      break;
+    }
+  }
+  stats_.busy_time += t - now;
+  return t;
+}
+
+}  // namespace conzone

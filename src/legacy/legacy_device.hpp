@@ -1,0 +1,144 @@
+// Legacy baseline — traditional consumer-grade flash storage (§II-A,
+// §IV-A).
+//
+// The paper's evaluation re-implements the conventional device described
+// by ZMS to quantify what the zone abstraction buys. Differences from
+// ConZone:
+//
+//   - no zones: the host may update any 4 KiB page in place; the FTL is
+//     a pure page-mapping table over a log-structured normal region;
+//   - the L2P cache holds only page-granularity entries, with a
+//     sequential prefetch window (1023 entries, §IV-C) to help streaming
+//     reads;
+//   - the device runs full garbage collection over BOTH regions: valid
+//     data must be migrated before any block is erased — the lifetime
+//     cost the zone abstraction eliminates (§I, Fig. 1 E.1/E.2);
+//   - over-provisioning: only part of the normal region is host-visible,
+//     the rest is GC headroom.
+//
+// The write buffer, SLC secondary buffer, media, and timing model are
+// identical to ConZone's, as in the paper's comparison.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "buffer/write_buffer.hpp"
+#include "core/storage_device.hpp"
+#include "flash/array.hpp"
+#include "flash/slc_allocator.hpp"
+#include "flash/superblock.hpp"
+#include "flash/timing_engine.hpp"
+#include "ftl/l2p_cache.hpp"
+#include "ftl/mapping.hpp"
+#include "ftl/translator.hpp"
+#include "flash/normal_allocator.hpp"
+#include "sim/resource.hpp"
+
+namespace conzone {
+
+struct LegacyConfig {
+  FlashGeometry geometry;
+  TimingConfig timing;
+  /// Same buffer SRAM budget as ConZone (two superpage buffers); the
+  /// Legacy controller assigns them to detected write streams.
+  WriteBufferConfig buffers{/*num_buffers=*/2, /*buffer_bytes=*/384 * kKiB,
+                            /*slot_bytes=*/4 * kKiB};
+  /// Fraction of the normal region hidden from the host as GC headroom.
+  double over_provision = 0.07;
+  L2pCacheConfig l2p;
+  /// §IV-C: prefetch window of 1023 entries (one chunk per miss).
+  std::uint32_t prefetch_window = 1023;
+  CellType map_media = CellType::kTlc;
+  std::uint32_t gc_low_watermark = 2;
+  std::uint32_t gc_reclaim_target = 3;
+  std::uint64_t host_link_bandwidth_bps = 4200 * kMiB;
+  SimDuration request_overhead = SimDuration::Micros(15);
+
+  Status Validate() const;
+};
+
+struct LegacyStats {
+  std::uint64_t host_bytes_written = 0;
+  std::uint64_t host_bytes_read = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t premature_flushes = 0;
+  std::uint64_t buffer_ram_reads = 0;
+  std::uint64_t gc_runs = 0;
+  std::uint64_t gc_slots_migrated = 0;
+  std::uint64_t overwrites = 0;  ///< In-place updates (invalidations).
+};
+
+class LegacyDevice final : public StorageDevice {
+ public:
+  static Result<std::unique_ptr<LegacyDevice>> Create(const LegacyConfig& config);
+
+  DeviceInfo info() const override;
+  Result<SimTime> Write(std::uint64_t offset, std::uint64_t len, SimTime now,
+                        std::span<const std::uint64_t> tokens = {}) override;
+  Result<SimTime> Read(std::uint64_t offset, std::uint64_t len, SimTime now,
+                       std::vector<std::uint64_t>* tokens_out = nullptr) override;
+  Result<SimTime> Flush(SimTime now) override;
+
+  const LegacyConfig& config() const { return cfg_; }
+  const LegacyStats& stats() const { return stats_; }
+  const MediaCounters& media_counters() const { return array_.counters(); }
+  const Translator& translator() const { return translator_; }
+  const L2PCache& l2p_cache() const { return cache_; }
+  double WriteAmplification() const;
+  void ResetStats();
+
+ private:
+  explicit LegacyDevice(const LegacyConfig& config);
+
+  /// Point `lpn` at `ppn`, invalidating any previous copy (in-place
+  /// update semantics).
+  Status SetMapping(Lpn lpn, Ppn ppn);
+
+  /// Returns {sram_free, media_done}: the buffer accepts new data once
+  /// transfers drain; durability waits for the program pulses.
+  struct FlushResult {
+    SimTime sram_free;
+    SimTime media_done;
+  };
+  Result<FlushResult> FlushExtent(BufferedExtent extent, SimTime now);
+
+  /// Greedy full GC over one region; returns completion time.
+  Result<SimTime> CollectRegion(bool slc_region, SimTime now);
+  Result<SimTime> MaybeRunGc(SimTime now);
+  SuperblockId SelectVictim(bool slc_region) const;
+
+  /// Migrate a batch of live slots into the normal write stream (units
+  /// padded at the tail).
+  Result<SimTime> MigrateToNormal(std::vector<SlotWrite> live, SimTime reads_done);
+
+  /// No aggregated entries exist under page mapping.
+  class NullResolver : public PhysicalResolver {
+   public:
+    std::optional<Ppn> ResolveAggregated(MapGranularity, std::uint64_t,
+                                         Lpn) const override {
+      return std::nullopt;
+    }
+  };
+
+  LegacyConfig cfg_;
+  std::uint64_t usable_bytes_;
+  FlashArray array_;
+  FlashTimingEngine engine_;
+  SuperblockPool pool_;
+  SlcAllocator slc_alloc_;
+  NormalAllocator normal_alloc_;
+  WriteBufferPool buffers_;
+  MappingTable table_;
+  L2PCache cache_;
+  NullResolver resolver_;
+  Translator translator_;
+  ResourceTimeline host_link_;
+  std::vector<SimTime> buffer_ready_;
+  LegacyStats stats_;
+};
+
+}  // namespace conzone

@@ -1,0 +1,33 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace conzone {
+
+void EventQueue::Schedule(SimTime t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the simulated past");
+  heap_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::RunNext() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; the callback is moved out via const_cast,
+  // which is safe because the element is popped before the callback runs.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.when;
+  ev.cb(now_);
+  return true;
+}
+
+void EventQueue::RunUntil(SimTime deadline) {
+  while (!heap_.empty() && heap_.top().when <= deadline) RunNext();
+}
+
+void EventQueue::RunAll() {
+  while (RunNext()) {
+  }
+}
+
+}  // namespace conzone

@@ -1,0 +1,58 @@
+// Discrete-event queue.
+//
+// Drives the multi-job workload runner: each simulated job is a chain of
+// events ("issue next request at time t"). Events at equal timestamps run
+// in FIFO order of scheduling, which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace conzone {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime)>;
+
+  /// Schedule `cb` to run at simulated time `t`. `t` may not be earlier
+  /// than the current time of the queue.
+  void Schedule(SimTime t, Callback cb);
+
+  /// Pop and run the earliest event. Returns false if the queue is empty.
+  bool RunNext();
+
+  /// Run events until the queue drains or `deadline` is passed.
+  void RunUntil(SimTime deadline);
+
+  /// Drain the queue completely.
+  void RunAll();
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Timestamp of the most recently executed event.
+  SimTime now() const { return now_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  SimTime now_;
+};
+
+}  // namespace conzone

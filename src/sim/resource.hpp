@@ -1,0 +1,54 @@
+// Busy-until resource timelines.
+//
+// Every contended hardware unit in the emulator — a flash die, a channel
+// bus, the host interface — is modeled as a `ResourceTimeline`: a single
+// server that executes reservations back-to-back in arrival order. A
+// reservation made at `earliest` starts at max(earliest, busy_until) and
+// occupies the resource for its duration. This is the same scheduling
+// model NVMeVirt/FEMU use for their delay emulation, reproduced here in
+// simulated time.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace conzone {
+
+class ResourceTimeline {
+ public:
+  struct Reservation {
+    SimTime start;
+    SimTime end;
+  };
+
+  /// Reserve the resource for `dur` no earlier than `earliest`.
+  Reservation Reserve(SimTime earliest, SimDuration dur) {
+    const SimTime start = Later(earliest, busy_until_);
+    const SimTime end = start + dur;
+    busy_until_ = end;
+    busy_time_ += dur;
+    ++reservations_;
+    return {start, end};
+  }
+
+  /// When the resource next becomes idle.
+  SimTime busy_until() const { return busy_until_; }
+
+  /// Total time the resource has been occupied (utilization numerator).
+  SimDuration busy_time() const { return busy_time_; }
+  std::uint64_t reservations() const { return reservations_; }
+
+  void Reset() {
+    busy_until_ = SimTime::Zero();
+    busy_time_ = SimDuration();
+    reservations_ = 0;
+  }
+
+ private:
+  SimTime busy_until_;
+  SimDuration busy_time_;
+  std::uint64_t reservations_ = 0;
+};
+
+}  // namespace conzone

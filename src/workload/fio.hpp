@@ -1,0 +1,118 @@
+// FIO-like micro-benchmark workload runner (paper §IV-A).
+//
+// The evaluation drives every device with flexible-I/O-tester style jobs:
+// sequential or random, read or write, fixed block size, one or more
+// simulated threads. Each job behaves like an fio job with iodepth=1 and
+// synchronous completion — the next request issues when the previous one
+// completes — which is how consumer I/O stacks behave (§II-A: frequent
+// synchronous writes). Concurrency comes from running several jobs over
+// the same device: the event queue interleaves their submissions in
+// simulated-time order and the device's internal resource model
+// serializes contended hardware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "core/storage_device.hpp"
+#include "sim/event_queue.hpp"
+
+namespace conzone {
+
+enum class IoPattern : std::uint8_t { kSequential = 0, kRandom = 1 };
+enum class IoDirection : std::uint8_t { kRead = 0, kWrite = 1 };
+
+struct JobSpec {
+  std::string name = "job";
+  IoPattern pattern = IoPattern::kSequential;
+  IoDirection direction = IoDirection::kRead;
+  std::uint64_t block_size = 4096;
+  /// Byte range the job operates on: [region_offset, region_offset+region_size).
+  std::uint64_t region_offset = 0;
+  std::uint64_t region_size = 0;
+  /// Zoned devices only: operate on exactly these zones, in order — the
+  /// job's address space is their concatenation (region_offset/size are
+  /// then derived, not read). This is how consumer stacks present work to
+  /// the device: F2FS allocates whole segments/zones per log, so a
+  /// writer's stream hops zones in allocation order, not LBA order. The
+  /// Fig. 6b conflict experiment uses this to pin two writers to zones of
+  /// equal or opposite parity.
+  std::vector<std::uint64_t> zone_list;
+  /// With zone_list: operate only on the first `zone_span_bytes` of each
+  /// listed zone (0 = the whole zone). Lets read jobs target the written
+  /// prefix of partially-filled zones.
+  std::uint64_t zone_span_bytes = 0;
+  /// Stop conditions (at least one must be set; both = whichever first).
+  std::uint64_t io_count = 0;
+  SimDuration runtime;
+  /// Sequential jobs wrap to the region start when they reach the end;
+  /// zoned write jobs must reset the zones they wrap into.
+  bool reset_zones_on_wrap = false;
+  SimDuration think_time;
+  std::uint64_t seed = 1;
+};
+
+struct JobResult {
+  std::string name;
+  Throughput throughput;
+  LatencyHistogram latency;
+  SimTime first_issue;
+  SimTime last_completion;
+};
+
+/// Aggregate over all jobs of a run (the "MT" rows of the paper).
+struct RunResult {
+  std::vector<JobResult> jobs;
+  Throughput total;           ///< Sum of bytes/ops over the wall-clock span.
+  LatencyHistogram latency;   ///< Merged across jobs.
+  SimTime end_time;           ///< Completion of the last job — pass as the
+                              ///< `start` of the next phase so a fresh run
+                              ///< does not queue behind still-busy media.
+
+  double MiBps() const { return total.MiBps(); }
+  double Kiops() const { return total.Kiops(); }
+};
+
+class FioRunner {
+ public:
+  explicit FioRunner(StorageDevice& device) : device_(device) {}
+
+  /// Run all jobs concurrently starting at simulated time `start`.
+  Result<RunResult> Run(const std::vector<JobSpec>& jobs,
+                        SimTime start = SimTime::Zero());
+
+  /// Sequentially fill [offset, offset+size) with `block_size` writes and
+  /// flush — the preconditioning step before read experiments.
+  static Status Precondition(StorageDevice& device, std::uint64_t offset,
+                             std::uint64_t size, std::uint64_t block_size = 512 * kKiB,
+                             SimTime* end_time = nullptr);
+
+ private:
+  struct JobState {
+    JobSpec spec;
+    Rng rng;
+    std::uint64_t virtual_size = 0;  // region_size or zone_list span
+    std::uint64_t position = 0;      // sequential cursor
+    std::uint64_t ios_done = 0;
+    SimTime deadline = SimTime::Max();
+    JobResult result;
+    bool done = false;
+  };
+
+  Status ValidateSpec(const JobSpec& spec) const;
+  /// Issue one IO for `job` at time `t`; returns completion time or the
+  /// error that aborted the run.
+  Result<SimTime> IssueOne(JobState& job, SimTime t);
+  std::uint64_t PickOffset(JobState& job, std::uint64_t* len);
+
+  StorageDevice& device_;
+  Status run_error_;
+};
+
+}  // namespace conzone

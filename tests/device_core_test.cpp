@@ -1,0 +1,321 @@
+// End-to-end tests of ConZoneDevice: the write path (buffering, premature
+// flush, SLC staging, fold-back, the alignment patch), the read path
+// (buffer hits, hybrid translation), the erase path (zone reset), and the
+// statistics the paper's experiments rely on.
+#include <gtest/gtest.h>
+
+#include "core/device.hpp"
+#include "workload/fio.hpp"
+
+namespace conzone {
+namespace {
+
+ConZoneConfig SmallConfig() {
+  // Paper geometry shrunk for fast tests: 2ch x 2chips, TLC, 96 KiB
+  // units, 16 MiB zones with a 256 KiB SLC patch — but fewer blocks.
+  ConZoneConfig cfg = ConZoneConfig::PaperConfig();
+  cfg.geometry.blocks_per_chip = 20;  // 4 SLC + 16 normal => 16 zones
+  cfg.geometry.slc_blocks_per_chip = 4;
+  return cfg;
+}
+
+std::vector<std::uint64_t> Tokens(std::uint64_t first_lpn, std::uint64_t count,
+                                  std::uint64_t salt = 0) {
+  std::vector<std::uint64_t> t(count);
+  for (std::uint64_t i = 0; i < count; ++i) t[i] = (first_lpn + i) * 1000003 + salt;
+  return t;
+}
+
+class ConZoneDeviceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dev = ConZoneDevice::Create(SmallConfig());
+    ASSERT_TRUE(dev.ok()) << dev.status().ToString();
+    dev_ = std::move(dev).value();
+    zone_bytes_ = dev_->config().zone_size_bytes;
+  }
+
+  /// Write with integrity tokens and verify a later read returns them.
+  void WriteAt(std::uint64_t off, std::uint64_t len, SimTime& t, std::uint64_t salt = 0) {
+    auto tokens = Tokens(off / 4096, len / 4096, salt);
+    auto r = dev_->Write(off, len, t, tokens);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    t = r.value();
+  }
+
+  void VerifyRead(std::uint64_t off, std::uint64_t len, SimTime& t,
+                  std::uint64_t salt = 0) {
+    std::vector<std::uint64_t> got;
+    auto r = dev_->Read(off, len, t, &got);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    t = r.value();
+    auto want = Tokens(off / 4096, len / 4096, salt);
+    ASSERT_EQ(got, want) << "payload mismatch at offset " << off;
+  }
+
+  std::unique_ptr<ConZoneDevice> dev_;
+  std::uint64_t zone_bytes_ = 0;
+};
+
+TEST_F(ConZoneDeviceTest, InfoMatchesConfig) {
+  const DeviceInfo di = dev_->info();
+  EXPECT_EQ(di.zone_size_bytes, 16 * kMiB);
+  EXPECT_EQ(di.num_zones, 16u);
+  EXPECT_EQ(di.capacity_bytes, 16 * 16 * kMiB);
+  EXPECT_EQ(di.io_alignment, 4096u);
+}
+
+TEST_F(ConZoneDeviceTest, SmallWriteStaysInBufferAndReadsBack) {
+  SimTime t;
+  WriteAt(0, 8 * 4096, t);
+  // Nothing flushed yet: all data still in the volatile buffer.
+  EXPECT_EQ(dev_->stats().flushes, 0u);
+  EXPECT_EQ(dev_->media_counters().TotalSlotsProgrammed(), 0u);
+  VerifyRead(0, 8 * 4096, t);
+  EXPECT_EQ(dev_->stats().buffer_ram_reads, 8u);
+}
+
+TEST_F(ConZoneDeviceTest, FullBufferFlushProgramsSuperpage) {
+  SimTime t;
+  const std::uint64_t superpage = dev_->config().geometry.SuperpageBytes();
+  WriteAt(0, superpage, t);
+  EXPECT_EQ(dev_->stats().flushes, 1u);
+  // A full superpage goes straight to normal blocks: no SLC staging.
+  EXPECT_EQ(dev_->stats().premature_flushes, 0u);
+  EXPECT_EQ(dev_->media_counters().slots_programmed_slc, 0u);
+  EXPECT_EQ(dev_->media_counters().slots_programmed_normal, superpage / 4096);
+  VerifyRead(0, superpage, t);
+}
+
+TEST_F(ConZoneDeviceTest, PrematureFlushStagesToSlc) {
+  SimTime t;
+  // 48 KiB into zone 0, then a write to zone 2 (same buffer, 2 buffers:
+  // zones 0 and 2 are both even) forces a premature flush.
+  WriteAt(0, 48 * kKiB, t);
+  WriteAt(2 * zone_bytes_, 4096, t);
+  EXPECT_EQ(dev_->stats().conflict_flushes, 1u);
+  EXPECT_EQ(dev_->stats().premature_flushes, 1u);
+  // 48 KiB < 96 KiB program unit: all 12 slots partial-programmed to SLC.
+  EXPECT_EQ(dev_->media_counters().slots_programmed_slc, 12u);
+  EXPECT_EQ(dev_->media_counters().slots_programmed_normal, 0u);
+  VerifyRead(0, 48 * kKiB, t);
+}
+
+TEST_F(ConZoneDeviceTest, FoldReadsBackSlcAndProgramsNormal) {
+  SimTime t;
+  WriteAt(0, 48 * kKiB, t);                    // zone 0, buffered
+  WriteAt(2 * zone_bytes_, 4096, t);           // conflict: 48 KiB staged to SLC
+  WriteAt(48 * kKiB, 48 * kKiB, t);            // zone 0 again: 48 staged + 48 new
+  WriteAt(2 * zone_bytes_ + 4096, 4096, t);    // conflict: fold 96 KiB to normal
+  EXPECT_EQ(dev_->stats().folds, 1u);
+  EXPECT_EQ(dev_->stats().fold_slots_read, 12u);  // the staged 48 KiB
+  EXPECT_EQ(dev_->media_counters().slots_programmed_normal, 24u);  // one unit
+  VerifyRead(0, 96 * kKiB, t);
+}
+
+TEST_F(ConZoneDeviceTest, FullZoneWriteAggregatesAndPatches) {
+  SimTime t;
+  // Fill zone 0 completely with 512 KiB writes.
+  for (std::uint64_t off = 0; off < zone_bytes_; off += 512 * kKiB) {
+    WriteAt(off, 512 * kKiB, t);
+  }
+  EXPECT_EQ(dev_->zones().Info(ZoneId{0}).state, ZoneState::kFull);
+  // The 256 KiB tail beyond the 15.75 MiB reserved capacity went to SLC
+  // as one contiguous patch run (§III-E).
+  EXPECT_EQ(dev_->stats().patch_runs, 1u);
+  const std::uint64_t patch_slots = dev_->layout().patch_bytes() / 4096;
+  EXPECT_EQ(dev_->media_counters().slots_programmed_slc, patch_slots);
+  // Zone-level aggregation happened (Fig. 5): one zone aggregate stamped.
+  EXPECT_EQ(dev_->stats().aggregates_zone, 1u);
+  EXPECT_EQ(dev_->mapping().Get(Lpn{0}).gran, MapGranularity::kZone);
+  // Reads across the whole zone (including the patch) verify.
+  VerifyRead(0, zone_bytes_, t);
+}
+
+TEST_F(ConZoneDeviceTest, ChunkAggregationHappensAsChunksComplete) {
+  SimTime t;
+  // Write 8.25 MiB = 22 full superpages, so flushes land exactly on the
+  // 384 KiB buffer boundary and the first two 4 MiB chunks are durable in
+  // the normal region.
+  for (std::uint64_t off = 0; off < 8448 * kKiB; off += 384 * kKiB) {
+    WriteAt(off, 384 * kKiB, t);
+  }
+  EXPECT_GE(dev_->stats().aggregates_chunk, 2u);
+  EXPECT_EQ(dev_->mapping().Get(Lpn{0}).gran, MapGranularity::kChunk);
+  EXPECT_EQ(dev_->mapping().Get(Lpn{1024}).gran, MapGranularity::kChunk);
+  EXPECT_EQ(dev_->mapping().Get(Lpn{2048}).gran, MapGranularity::kPage);
+}
+
+TEST_F(ConZoneDeviceTest, ChunkTailStagedInSlcBlocksAggregation) {
+  SimTime t;
+  // 8 MiB written but the last 128 KiB (8 MiB % 384 KiB) is still
+  // buffered; an explicit flush stages it to SLC — so chunk 1 is NOT
+  // physically contiguous and must stay page-mapped (§III-C: "data
+  // temporarily written to SLC cannot be aggregated").
+  for (std::uint64_t off = 0; off < 8 * kMiB; off += 512 * kKiB) {
+    WriteAt(off, 512 * kKiB, t);
+  }
+  auto f = dev_->Flush(t);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(dev_->mapping().Get(Lpn{0}).gran, MapGranularity::kChunk);
+  EXPECT_EQ(dev_->mapping().Get(Lpn{1024}).gran, MapGranularity::kPage);
+}
+
+TEST_F(ConZoneDeviceTest, ZoneResetErasesAndUnmaps) {
+  SimTime t;
+  for (std::uint64_t off = 0; off < zone_bytes_; off += 512 * kKiB) {
+    WriteAt(off, 512 * kKiB, t);
+  }
+  auto r = dev_->ResetZone(ZoneId{0}, t);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  t = r.value();
+  EXPECT_EQ(dev_->zones().Info(ZoneId{0}).state, ZoneState::kEmpty);
+  EXPECT_FALSE(dev_->mapping().Get(Lpn{0}).mapped());
+  // Reads of a reset zone fail.
+  auto bad = dev_->Read(0, 4096, t);
+  EXPECT_FALSE(bad.ok());
+  // The zone is writable again and data verifies with fresh payloads.
+  WriteAt(0, 512 * kKiB, t, /*salt=*/7);
+  VerifyRead(0, 512 * kKiB, t, /*salt=*/7);
+}
+
+TEST_F(ConZoneDeviceTest, NonSequentialWriteRejected) {
+  SimTime t;
+  WriteAt(0, 4096, t);
+  auto r = dev_->Write(8192, 4096, t);  // skips the write pointer
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ConZoneDeviceTest, WriteCrossingZoneBoundaryRejected) {
+  SimTime t;
+  for (std::uint64_t off = 0; off < zone_bytes_ - 512 * kKiB; off += 512 * kKiB) {
+    WriteAt(off, 512 * kKiB, t);
+  }
+  auto r = dev_->Write(zone_bytes_ - 4096, 8192, t);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(ConZoneDeviceTest, ReadBeyondWritePointerRejected) {
+  SimTime t;
+  WriteAt(0, 4096, t);
+  auto r = dev_->Read(4096, 4096, t);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(ConZoneDeviceTest, WriteAmplificationAccountsSlcDetour) {
+  SimTime t;
+  // Zone-switching 48 KiB writes between two same-parity zones: every
+  // flush is premature, so data is written twice (SLC then normal).
+  std::uint64_t off0 = 0, off2 = 2 * zone_bytes_;
+  for (int i = 0; i < 32; ++i) {
+    WriteAt(off0, 48 * kKiB, t);
+    off0 += 48 * kKiB;
+    WriteAt(off2, 48 * kKiB, t, 1);
+    off2 += 48 * kKiB;
+  }
+  auto f = dev_->Flush(t);
+  ASSERT_TRUE(f.ok());
+  EXPECT_GT(dev_->WriteAmplification(), 1.2);
+  EXPECT_GT(dev_->stats().premature_flushes, 10u);
+}
+
+TEST_F(ConZoneDeviceTest, FlushAllMakesDataDurable) {
+  SimTime t;
+  WriteAt(0, 12 * kKiB, t);
+  auto f = dev_->Flush(t);
+  ASSERT_TRUE(f.ok());
+  t = f.value();
+  EXPECT_EQ(dev_->stats().buffer_ram_reads, 0u);
+  VerifyRead(0, 12 * kKiB, t);
+  EXPECT_EQ(dev_->stats().buffer_ram_reads, 0u);  // served from SLC, not RAM
+}
+
+TEST_F(ConZoneDeviceTest, TimingLatenciesAreSane) {
+  SimTime t;
+  // A buffered 4 KiB write completes in microseconds (RAM, no flash).
+  auto w = dev_->Write(0, 4096, t);
+  ASSERT_TRUE(w.ok());
+  EXPECT_LT((w.value() - t).us(), 100.0);
+  // Reading it back from the buffer is also fast.
+  auto r = dev_->Read(0, 4096, w.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT((r.value() - w.value()).us(), 100.0);
+}
+
+TEST_F(ConZoneDeviceTest, L2pLogDisabledByDefault) {
+  SimTime t;
+  WriteAt(0, 512 * kKiB, t);
+  EXPECT_EQ(dev_->l2p_log().stats().entries_appended, 0u);
+  EXPECT_EQ(dev_->l2p_log().stats().flushes, 0u);
+}
+
+TEST(ConZoneL2pLogTest, LogAccumulatesAndFlushesBlocking) {
+  ConZoneConfig cfg = SmallConfig();
+  cfg.l2p_log.enabled = true;
+  cfg.l2p_log.entry_bytes = 8;
+  cfg.l2p_log.flush_threshold_bytes = 16 * kKiB;  // 2048 updates
+  auto devr = ConZoneDevice::Create(cfg);
+  ASSERT_TRUE(devr.ok());
+  ConZoneDevice& d = **devr;
+  SimTime t;
+  // 16 MiB of writes = 4096 mapping updates = 2 log flushes.
+  for (std::uint64_t off = 0; off < 16 * kMiB; off += 512 * kKiB) {
+    auto r = d.Write(off, 512 * kKiB, t);
+    ASSERT_TRUE(r.ok());
+    t = r.value();
+  }
+  EXPECT_GE(d.l2p_log().stats().entries_appended, 4096u);
+  // Each flush drains everything pending at the crossing.
+  EXPECT_GE(d.l2p_log().stats().flushes, 1u);
+  EXPECT_GE(d.l2p_log().stats().bytes_flushed, 16 * kKiB);
+  // Remainder stays pending until the next threshold crossing.
+  EXPECT_LT(d.l2p_log().pending_bytes(), 16 * kKiB);
+  EXPECT_EQ(d.l2p_log().stats().bytes_flushed + d.l2p_log().pending_bytes(),
+            d.l2p_log().stats().entries_appended * 8);
+}
+
+TEST(ConZoneL2pLogTest, LogFlushCostsWriteTime) {
+  auto run = [](bool log_on) {
+    ConZoneConfig cfg = SmallConfig();
+    cfg.l2p_log.enabled = log_on;
+    cfg.l2p_log.flush_threshold_bytes = 4 * kKiB;  // aggressive, every 512 updates
+    auto devr = ConZoneDevice::Create(cfg);
+    EXPECT_TRUE(devr.ok());
+    SimTime t;
+    for (std::uint64_t off = 0; off < 16 * kMiB; off += 512 * kKiB) {
+      t = (*devr)->Write(off, 512 * kKiB, t).value();
+    }
+    auto f = (*devr)->Flush(t);
+    EXPECT_TRUE(f.ok());
+    return f.value();
+  };
+  EXPECT_GT(run(true), run(false));
+}
+
+TEST(ConZoneL2pLogTest, ConfigValidated) {
+  ConZoneConfig cfg = SmallConfig();
+  cfg.l2p_log.enabled = true;
+  cfg.l2p_log.entry_bytes = 8;
+  cfg.l2p_log.flush_threshold_bytes = 4;  // below entry size
+  EXPECT_FALSE(ConZoneDevice::Create(cfg).ok());
+}
+
+TEST_F(ConZoneDeviceTest, SequentialFillWholeDeviceAndVerify) {
+  // Fill 4 zones, read everything back — integrity across buffer, SLC
+  // staging, fold-back and the patch path.
+  SimTime t;
+  for (std::uint64_t z = 0; z < 4; ++z) {
+    for (std::uint64_t off = 0; off < zone_bytes_; off += 512 * kKiB) {
+      WriteAt(z * zone_bytes_ + off, 512 * kKiB, t, z);
+    }
+  }
+  for (std::uint64_t z = 0; z < 4; ++z) {
+    VerifyRead(z * zone_bytes_, zone_bytes_, t, z);
+  }
+  EXPECT_EQ(dev_->stats().aggregates_zone, 4u);
+}
+
+}  // namespace
+}  // namespace conzone

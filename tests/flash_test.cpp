@@ -1,0 +1,335 @@
+// Unit tests for the flash substrate: geometry math, the media state
+// machine, the timing engine, superblock pools and the SLC allocator.
+#include <gtest/gtest.h>
+
+#include "flash/array.hpp"
+#include "flash/geometry.hpp"
+#include "flash/slc_allocator.hpp"
+#include "flash/superblock.hpp"
+#include "flash/timing.hpp"
+#include "flash/timing_engine.hpp"
+
+namespace conzone {
+namespace {
+
+FlashGeometry SmallGeo() {
+  FlashGeometry g;
+  g.blocks_per_chip = 8;
+  g.slc_blocks_per_chip = 2;
+  g.pages_per_block = 12;  // divisible by 6 (TLC one-shot) and 3
+  return g;
+}
+
+// --- geometry ---
+
+TEST(GeometryTest, PaperDefaultsAreConsistent) {
+  FlashGeometry g;
+  ASSERT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.NumChips(), 4u);
+  EXPECT_EQ(g.SlotsPerPage(), 4u);
+  EXPECT_EQ(g.PagesPerProgramUnit(), 6u);
+  EXPECT_EQ(g.UnitsPerBlock(), 42u);
+  EXPECT_EQ(g.SuperpageBytes(), 384 * kKiB);  // §II-B
+  // 252 pages x 16 KiB x 4 chips = 16128 KiB = 15.75 MiB.
+  EXPECT_EQ(g.NormalSuperblockBytes(), 16128 * kKiB);
+  EXPECT_EQ(g.NormalRegionBytes(), 96ull * g.NormalSuperblockBytes());
+  EXPECT_EQ(g.SlcUsablePagesPerBlock(), 84u);  // 252 / 3 bits-per-cell
+}
+
+TEST(GeometryTest, AddressRoundTrips) {
+  const FlashGeometry g = SmallGeo();
+  for (std::uint64_t b = 0; b < g.TotalBlocks(); b += 3) {
+    const BlockId block{b};
+    EXPECT_EQ(g.BlockAt(g.ChipOfBlock(block), g.BlockIndexInChip(block)), block);
+    const SuperblockId sb = g.SuperblockOfBlock(block);
+    EXPECT_EQ(g.BlockOfSuperblock(sb, g.ChipOfBlock(block)), block);
+  }
+  for (std::uint64_t s = 0; s < g.TotalSlots(); s += 7) {
+    const Ppn ppn{s};
+    const FlashPageId page = g.PageOfSlot(ppn);
+    EXPECT_EQ(g.SlotAt(page, g.SlotIndexInPage(ppn)), ppn);
+    EXPECT_EQ(g.PageAt(g.BlockOfPage(page), g.PageIndexInBlock(page)), page);
+  }
+}
+
+TEST(GeometryTest, SlcRegionIsBlockPrefix) {
+  const FlashGeometry g = SmallGeo();
+  for (std::uint32_t c = 0; c < g.NumChips(); ++c) {
+    EXPECT_TRUE(g.IsSlcBlock(g.BlockAt(ChipId{c}, 0)));
+    EXPECT_TRUE(g.IsSlcBlock(g.BlockAt(ChipId{c}, 1)));
+    EXPECT_FALSE(g.IsSlcBlock(g.BlockAt(ChipId{c}, 2)));
+    EXPECT_EQ(g.CellOfBlock(g.BlockAt(ChipId{c}, 0)), CellType::kSlc);
+    EXPECT_EQ(g.CellOfBlock(g.BlockAt(ChipId{c}, 5)), CellType::kTlc);
+  }
+}
+
+TEST(GeometryTest, ChannelOfChip) {
+  FlashGeometry g;  // 2 channels x 2 chips
+  EXPECT_EQ(g.ChannelOfChip(ChipId{0}).value(), 0u);
+  EXPECT_EQ(g.ChannelOfChip(ChipId{1}).value(), 0u);
+  EXPECT_EQ(g.ChannelOfChip(ChipId{2}).value(), 1u);
+  EXPECT_EQ(g.ChannelOfChip(ChipId{3}).value(), 1u);
+}
+
+struct BadGeometryCase {
+  const char* name;
+  void (*mutate)(FlashGeometry&);
+};
+
+class GeometryValidationTest : public ::testing::TestWithParam<BadGeometryCase> {};
+
+TEST_P(GeometryValidationTest, RejectsInvalidConfig) {
+  FlashGeometry g = SmallGeo();
+  GetParam().mutate(g);
+  EXPECT_FALSE(g.Validate().ok()) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadGeometries, GeometryValidationTest,
+    ::testing::Values(
+        BadGeometryCase{"no_channels", [](FlashGeometry& g) { g.channels = 0; }},
+        BadGeometryCase{"no_chips", [](FlashGeometry& g) { g.chips_per_channel = 0; }},
+        BadGeometryCase{"no_blocks", [](FlashGeometry& g) { g.blocks_per_chip = 0; }},
+        BadGeometryCase{"slc_eats_all",
+                        [](FlashGeometry& g) { g.slc_blocks_per_chip = g.blocks_per_chip; }},
+        BadGeometryCase{"page_not_slot_multiple",
+                        [](FlashGeometry& g) { g.slot_size = 3000; }},
+        BadGeometryCase{"normal_is_slc",
+                        [](FlashGeometry& g) { g.normal_cell = CellType::kSlc; }},
+        BadGeometryCase{"unit_not_page_multiple",
+                        [](FlashGeometry& g) { g.program_unit = 20 * kKiB; }},
+        BadGeometryCase{"block_not_unit_multiple",
+                        [](FlashGeometry& g) { g.pages_per_block = 10; }}),
+    [](const auto& info) { return info.param.name; });
+
+// --- array ---
+
+TEST(FlashArrayTest, ProgramReadRoundTrip) {
+  FlashArray a(SmallGeo());
+  const BlockId slc = a.geometry().BlockAt(ChipId{0}, 0);
+  const SlotWrite w[] = {{Lpn{7}, 111}, {Lpn{8}, 222}};
+  ASSERT_TRUE(a.ProgramSlots(slc, w).ok());
+  const Ppn p0 = a.geometry().SlotAt(a.geometry().PageAt(slc, 0), 0);
+  const SlotRead r = a.ReadSlot(p0);
+  EXPECT_EQ(r.state, SlotState::kValid);
+  EXPECT_EQ(r.lpn, Lpn{7});
+  EXPECT_EQ(r.token, 111u);
+  EXPECT_EQ(a.ValidSlots(slc), 2u);
+  EXPECT_EQ(a.NextProgramSlot(slc), 2u);
+}
+
+TEST(FlashArrayTest, NormalBlockRequiresUnitAlignment) {
+  FlashArray a(SmallGeo());
+  const BlockId normal = a.geometry().BlockAt(ChipId{0}, 3);
+  const SlotWrite one[] = {{Lpn{1}, 1}};
+  EXPECT_EQ(a.ProgramSlots(normal, one).code(), StatusCode::kInvalidArgument);
+  // A whole unit works.
+  std::vector<SlotWrite> unit(a.geometry().program_unit / a.geometry().slot_size,
+                              SlotWrite{Lpn{1}, 1});
+  EXPECT_TRUE(a.ProgramSlots(normal, unit).ok());
+}
+
+TEST(FlashArrayTest, SlcBlockDeratedCapacity) {
+  FlashArray a(SmallGeo());
+  const BlockId slc = a.geometry().BlockAt(ChipId{0}, 0);
+  const std::uint32_t usable = a.UsableSlots(slc);
+  EXPECT_EQ(usable, a.geometry().SlcUsableSlotsPerBlock());
+  std::vector<SlotWrite> fill(usable, SlotWrite{Lpn{1}, 1});
+  ASSERT_TRUE(a.ProgramSlots(slc, fill).ok());
+  EXPECT_TRUE(a.BlockFull(slc));
+  const SlotWrite one[] = {{Lpn{2}, 2}};
+  EXPECT_EQ(a.ProgramSlots(slc, one).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FlashArrayTest, InvalidateAndErase) {
+  FlashArray a(SmallGeo());
+  const BlockId slc = a.geometry().BlockAt(ChipId{1}, 0);
+  const SlotWrite w[] = {{Lpn{1}, 1}};
+  ASSERT_TRUE(a.ProgramSlots(slc, w).ok());
+  const Ppn p = a.geometry().SlotAt(a.geometry().PageAt(slc, 0), 0);
+  ASSERT_TRUE(a.InvalidateSlot(p).ok());
+  EXPECT_EQ(a.StateOfSlot(p), SlotState::kInvalid);
+  EXPECT_EQ(a.ValidSlots(slc), 0u);
+  // Double invalidate is an error.
+  EXPECT_FALSE(a.InvalidateSlot(p).ok());
+  ASSERT_TRUE(a.EraseBlock(slc).ok());
+  EXPECT_EQ(a.StateOfSlot(p), SlotState::kFree);
+  EXPECT_EQ(a.NextProgramSlot(slc), 0u);
+  EXPECT_EQ(a.EraseCount(slc), 1u);
+}
+
+TEST(FlashArrayTest, CountersTrackMedia) {
+  FlashArray a(SmallGeo());
+  const BlockId slc = a.geometry().BlockAt(ChipId{0}, 0);
+  const BlockId normal = a.geometry().BlockAt(ChipId{0}, 4);
+  const SlotWrite w[] = {{Lpn{1}, 1}};
+  ASSERT_TRUE(a.ProgramSlots(slc, w).ok());
+  std::vector<SlotWrite> unit(a.geometry().program_unit / a.geometry().slot_size,
+                              SlotWrite{Lpn{2}, 2});
+  ASSERT_TRUE(a.ProgramSlots(normal, unit).ok());
+  EXPECT_EQ(a.counters().slots_programmed_slc, 1u);
+  EXPECT_EQ(a.counters().slots_programmed_normal, unit.size());
+  ASSERT_TRUE(a.EraseBlock(slc).ok());
+  ASSERT_TRUE(a.EraseBlock(normal).ok());
+  EXPECT_EQ(a.counters().erases_slc, 1u);
+  EXPECT_EQ(a.counters().erases_normal, 1u);
+}
+
+// --- timing engine ---
+
+TEST(TimingEngineTest, TableIILatencies) {
+  const TimingConfig t;
+  EXPECT_EQ(t.For(CellType::kSlc).program_latency.us(), 75.0);
+  EXPECT_EQ(t.For(CellType::kTlc).program_latency.us(), 937.5);
+  EXPECT_EQ(t.For(CellType::kQlc).program_latency.us(), 6400.0);
+  EXPECT_EQ(t.For(CellType::kSlc).read_latency.us(), 20.0);
+  EXPECT_EQ(t.For(CellType::kTlc).read_latency.us(), 32.0);
+  EXPECT_EQ(t.For(CellType::kQlc).read_latency.us(), 85.0);
+}
+
+TEST(TimingEngineTest, TransferTimeMatchesBandwidth) {
+  TimingConfig t;  // 3200 MiB/s
+  // 16 KiB at 3200 MiB/s = 4.883 us.
+  EXPECT_NEAR(t.TransferTime(16 * kKiB).us(), 4.883, 0.01);
+  t.channel_bandwidth_bps = 0;
+  EXPECT_EQ(t.TransferTime(1 * kMiB).ns(), 0u);
+}
+
+TEST(TimingEngineTest, ReadIsSensePlusTransfer) {
+  FlashGeometry g;
+  TimingConfig t;
+  t.program_suspend_reads = false;
+  FlashTimingEngine e(g, t);
+  const SimTime end = e.ReadPage(ChipId{0}, CellType::kTlc, 16 * kKiB, SimTime::Zero());
+  EXPECT_NEAR((end - SimTime::Zero()).us(), 32.0 + 4.883, 0.01);
+}
+
+TEST(TimingEngineTest, ChannelSharedBetweenChips) {
+  FlashGeometry g;
+  TimingConfig t;
+  t.program_suspend_reads = false;
+  FlashTimingEngine e(g, t);
+  // Chips 0 and 1 share channel 0: their transfers serialize.
+  const SimTime end0 = e.ReadPage(ChipId{0}, CellType::kTlc, 16 * kKiB, SimTime::Zero());
+  const SimTime end1 = e.ReadPage(ChipId{1}, CellType::kTlc, 16 * kKiB, SimTime::Zero());
+  EXPECT_GT(end1, end0);
+  // Chip 2 is on channel 1: same finish time as chip 0.
+  FlashTimingEngine e2(g, t);
+  const SimTime endA = e2.ReadPage(ChipId{0}, CellType::kTlc, 16 * kKiB, SimTime::Zero());
+  const SimTime endB = e2.ReadPage(ChipId{2}, CellType::kTlc, 16 * kKiB, SimTime::Zero());
+  EXPECT_EQ(endA, endB);
+}
+
+TEST(TimingEngineTest, ProgramCadenceIsOneDeepPipelined) {
+  FlashGeometry g;
+  TimingConfig t;
+  FlashTimingEngine e(g, t);
+  // Back-to-back programs on one die: pulses serialize; data-in of the
+  // second overlaps the first pulse (cache register).
+  const auto p1 = e.Program(ChipId{0}, CellType::kTlc, 96 * kKiB, SimTime::Zero());
+  const auto p2 = e.Program(ChipId{0}, CellType::kTlc, 96 * kKiB, SimTime::Zero());
+  EXPECT_LT(p2.data_in, p1.end);              // transfer overlapped the pulse
+  EXPECT_NEAR((p2.end - p1.end).us(), 937.5, 40.0);  // pulse cadence
+}
+
+TEST(TimingEngineTest, SuspendedReadPaysPenaltyNotPulse) {
+  FlashGeometry g;
+  TimingConfig t;  // suspend on by default
+  FlashTimingEngine e(g, t);
+  e.Program(ChipId{0}, CellType::kTlc, 96 * kKiB, SimTime::Zero());
+  const SimTime issue = SimTime::FromNanos(100000);  // mid-pulse
+  const SimTime end = e.ReadPage(ChipId{0}, CellType::kTlc, 16 * kKiB, issue);
+  const double lat = (end - issue).us();
+  EXPECT_LT(lat, 120.0);  // far below the 937.5us pulse remainder
+  EXPECT_GT(lat, 32.0);   // but above the bare sense (penalty applied)
+}
+
+TEST(TimingEngineTest, EraseOccupiesDie) {
+  FlashGeometry g;
+  TimingConfig t;
+  t.program_suspend_reads = false;
+  FlashTimingEngine e(g, t);
+  const SimTime end = e.Erase(ChipId{3}, CellType::kTlc, SimTime::Zero());
+  EXPECT_NEAR((end - SimTime::Zero()).us(), 3500.0, 1.0);
+  // A read behind the erase waits (no suspend path).
+  const SimTime r = e.ReadPage(ChipId{3}, CellType::kTlc, 16 * kKiB, SimTime::Zero());
+  EXPECT_GT(r, end);
+}
+
+// --- superblock pool ---
+
+TEST(SuperblockPoolTest, SlcAllocateReleaseCycle) {
+  SuperblockPool pool(SmallGeo());
+  EXPECT_EQ(pool.FreeSlcCount(), 2u);
+  auto a = pool.AllocateSlc();
+  ASSERT_TRUE(a.ok());
+  auto b = pool.AllocateSlc();
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value(), b.value());
+  EXPECT_EQ(pool.AllocateSlc().status().code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(pool.ReleaseSlc(a.value()).ok());
+  EXPECT_EQ(pool.FreeSlcCount(), 1u);
+  // Double release rejected; non-SLC release rejected.
+  EXPECT_FALSE(pool.ReleaseSlc(a.value()).ok());
+  EXPECT_FALSE(pool.ReleaseSlc(SuperblockId{5}).ok());
+}
+
+TEST(SuperblockPoolTest, NormalPoolIndependent) {
+  SuperblockPool pool(SmallGeo());
+  EXPECT_EQ(pool.FreeNormalCount(), 6u);
+  auto a = pool.AllocateNormal();
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(SmallGeo().IsSlcSuperblock(a.value()));
+  ASSERT_TRUE(pool.ReleaseNormal(a.value()).ok());
+  EXPECT_FALSE(pool.ReleaseNormal(SuperblockId{0}).ok());  // SLC id
+}
+
+// --- slc allocator ---
+
+TEST(SlcAllocatorTest, PageFillStripeOrder) {
+  FlashArray array(SmallGeo());
+  SuperblockPool pool(SmallGeo());
+  SlcAllocator alloc(array, pool);
+  std::vector<SlotWrite> w(10, SlotWrite{Lpn{1}, 1});
+  auto ppns = alloc.Program(w);
+  ASSERT_TRUE(ppns.ok());
+  const FlashGeometry& g = array.geometry();
+  // First 4 slots fill page 0 of chip 0; next 4 fill page 0 of chip 1...
+  EXPECT_EQ(g.ChipOfSlot(ppns.value()[0]).value(), 0u);
+  EXPECT_EQ(g.ChipOfSlot(ppns.value()[3]).value(), 0u);
+  EXPECT_EQ(g.ChipOfSlot(ppns.value()[4]).value(), 1u);
+  EXPECT_EQ(g.ChipOfSlot(ppns.value()[8]).value(), 2u);
+  EXPECT_EQ(g.PageOfSlot(ppns.value()[0]), g.PageOfSlot(ppns.value()[3]));
+  EXPECT_NE(g.PageOfSlot(ppns.value()[3]), g.PageOfSlot(ppns.value()[4]));
+}
+
+TEST(SlcAllocatorTest, RebindsAcrossSuperblocks) {
+  const FlashGeometry g = SmallGeo();
+  FlashArray array(g);
+  SuperblockPool pool(g);
+  SlcAllocator alloc(array, pool);
+  const std::uint64_t per_sb =
+      static_cast<std::uint64_t>(g.SlcUsableSlotsPerBlock()) * g.NumChips();
+  std::vector<SlotWrite> w(per_sb + 4, SlotWrite{Lpn{1}, 1});
+  auto ppns = alloc.Program(w);
+  ASSERT_TRUE(ppns.ok());
+  EXPECT_EQ(pool.FreeSlcCount(), 0u);  // both superblocks taken
+  EXPECT_NE(g.SuperblockOfBlock(g.BlockOfSlot(ppns.value()[0])),
+            g.SuperblockOfBlock(g.BlockOfSlot(ppns.value()[per_sb])));
+}
+
+TEST(SlcAllocatorTest, ExhaustionReported) {
+  const FlashGeometry g = SmallGeo();
+  FlashArray array(g);
+  SuperblockPool pool(g);
+  SlcAllocator alloc(array, pool);
+  const std::uint64_t total =
+      2ull * g.SlcUsableSlotsPerBlock() * g.NumChips();
+  std::vector<SlotWrite> w(total, SlotWrite{Lpn{1}, 1});
+  ASSERT_TRUE(alloc.Program(w).ok());
+  std::vector<SlotWrite> one(1, SlotWrite{Lpn{2}, 2});
+  EXPECT_EQ(alloc.Program(one).status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace conzone

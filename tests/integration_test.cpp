@@ -1,0 +1,245 @@
+// Integration tests: whole-device scenarios across modules — GC under
+// sustained pressure, aggregation breaks by GC, full-capacity fills,
+// strategy parity, and cross-device comparisons via the workload runner.
+#include <gtest/gtest.h>
+
+#include "core/device.hpp"
+#include "femu/femu_device.hpp"
+#include "legacy/legacy_device.hpp"
+#include "workload/fio.hpp"
+
+namespace conzone {
+namespace {
+
+ConZoneConfig TinyCfg() {
+  ConZoneConfig cfg = ConZoneConfig::PaperConfig();
+  cfg.geometry.blocks_per_chip = 14;  // 4 SLC + 10 normal => 10 zones
+  cfg.geometry.slc_blocks_per_chip = 4;
+  return cfg;
+}
+
+TEST(IntegrationTest, SlcGcTriggersUnderSustainedConflictTraffic) {
+  ConZoneConfig cfg = TinyCfg();
+  cfg.geometry.slc_blocks_per_chip = 3;  // tighter SLC region
+  cfg.geometry.blocks_per_chip = 13;
+  auto dev = ConZoneDevice::Create(cfg);
+  ASSERT_TRUE(dev.ok());
+  ConZoneDevice& d = **dev;
+  const std::uint64_t zb = d.info().zone_size_bytes;
+
+  // Alternating 48 KiB writes to same-parity zones: every flush stages to
+  // SLC, SLC churns, GC must reclaim — repeatedly, across zone resets.
+  SimTime t;
+  for (int round = 0; round < 6; ++round) {
+    std::uint64_t a = 0, b = 0;
+    while (a < zb) {
+      const std::uint64_t la = std::min<std::uint64_t>(48 * kKiB, zb - a);
+      auto ra = d.Write(0 * zb + a, la, t);
+      ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+      t = ra.value();
+      a += la;
+      const std::uint64_t lb = std::min<std::uint64_t>(48 * kKiB, zb - b);
+      if (b < zb) {
+        auto rb = d.Write(2 * zb + b, lb, t);
+        ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+        t = rb.value();
+        b += lb;
+      }
+    }
+    ASSERT_TRUE(d.ResetZone(ZoneId{0}, t).ok());
+    ASSERT_TRUE(d.ResetZone(ZoneId{2}, t).ok());
+  }
+  EXPECT_GT(d.gc().stats().runs, 0u);
+  EXPECT_GT(d.media_counters().erases_slc, 0u);
+}
+
+TEST(IntegrationTest, GcMigrationBreaksZoneAggregationSafely) {
+  // Force the zone patch (SLC-resident) to be moved by GC: the zone
+  // aggregate must be demoted, yet all data stays readable.
+  ConZoneConfig cfg = TinyCfg();
+  cfg.geometry.slc_blocks_per_chip = 3;
+  cfg.geometry.blocks_per_chip = 13;
+  auto dev = ConZoneDevice::Create(cfg);
+  ASSERT_TRUE(dev.ok());
+  ConZoneDevice& d = **dev;
+  const std::uint64_t zb = d.info().zone_size_bytes;
+
+  // Complete zone 0 (patch run lands in SLC, zone aggregates).
+  SimTime t;
+  ASSERT_TRUE(FioRunner::Precondition(d, 0, zb, 512 * kKiB, &t).ok());
+  ASSERT_EQ(d.stats().aggregates_zone, 1u);
+
+  // Grind the SLC region with conflicting writes + resets of other zones
+  // until GC has to relocate something of zone 0's patch.
+  int round = 0;
+  while (d.stats().aggregation_breaks == 0 && round < 40) {
+    std::uint64_t a = 0;
+    while (a < zb) {
+      const std::uint64_t len = std::min<std::uint64_t>(48 * kKiB, zb - a);
+      auto r1 = d.Write(1 * zb + a, len, t);
+      ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+      t = r1.value();
+      auto r2 = d.Write(3 * zb + a, len, t);
+      ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+      t = r2.value();
+      a += len;
+    }
+    ASSERT_TRUE(d.ResetZone(ZoneId{1}, t).ok());
+    ASSERT_TRUE(d.ResetZone(ZoneId{3}, t).ok());
+    ++round;
+  }
+  EXPECT_GT(d.stats().aggregation_breaks, 0u) << "GC never moved the patch";
+  // Zone 0 must no longer be zone-aggregated, but reads stay perfect.
+  EXPECT_NE(d.mapping().Get(Lpn{zb / 4096 - 1}).gran, MapGranularity::kZone);
+  std::vector<std::uint64_t> got;
+  auto r = d.Read(0, zb, t, &got);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(got.size(), zb / 4096);
+}
+
+TEST(IntegrationTest, FillEveryZoneThenResetEverything) {
+  auto dev = ConZoneDevice::Create(TinyCfg());
+  ASSERT_TRUE(dev.ok());
+  ConZoneDevice& d = **dev;
+  const DeviceInfo di = d.info();
+  SimTime t;
+  for (std::uint64_t z = 0; z < di.num_zones; ++z) {
+    ASSERT_TRUE(
+        FioRunner::Precondition(d, z * di.zone_size_bytes, di.zone_size_bytes,
+                                512 * kKiB, &t)
+            .ok())
+        << "zone " << z;
+  }
+  EXPECT_EQ(d.stats().aggregates_zone, di.num_zones);
+  for (std::uint64_t z = 0; z < di.num_zones; ++z) {
+    auto r = d.ResetZone(ZoneId{z}, t);
+    ASSERT_TRUE(r.ok());
+    t = r.value();
+  }
+  // The device is reusable end to end after a full wipe.
+  ASSERT_TRUE(FioRunner::Precondition(d, 0, di.zone_size_bytes, 512 * kKiB, &t).ok());
+  std::vector<std::uint64_t> got;
+  ASSERT_TRUE(d.Read(0, di.zone_size_bytes, t, &got).ok());
+}
+
+TEST(IntegrationTest, StrategiesAgreeOnDataOnlyTimingDiffers) {
+  // BITMAP / MULTIPLE / PINNED must return identical payloads for an
+  // identical request stream; only latency may differ.
+  std::vector<std::vector<std::uint64_t>> payloads;
+  for (L2pSearchStrategy s : {L2pSearchStrategy::kBitmap, L2pSearchStrategy::kMultiple,
+                              L2pSearchStrategy::kPinned}) {
+    ConZoneConfig cfg = TinyCfg();
+    cfg.translator.strategy = s;
+    auto dev = ConZoneDevice::Create(cfg);
+    ASSERT_TRUE(dev.ok());
+    SimTime t;
+    ASSERT_TRUE(FioRunner::Precondition(**dev, 0, 32 * kMiB, 512 * kKiB, &t).ok());
+    std::vector<std::uint64_t> got;
+    Rng rng(77);
+    for (int i = 0; i < 400; ++i) {
+      const std::uint64_t off = rng.NextBelow(32 * kMiB / 4096) * 4096;
+      auto r = (*dev)->Read(off, 4096, t, &got);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      t = r.value();
+    }
+    payloads.push_back(std::move(got));
+  }
+  EXPECT_EQ(payloads[0], payloads[1]);
+  EXPECT_EQ(payloads[0], payloads[2]);
+}
+
+TEST(IntegrationTest, RunnerDrivesAllThreeDevices) {
+  // The same sequential workload shape runs on every StorageDevice
+  // implementation and produces sane bandwidths.
+  auto conzone = ConZoneDevice::Create(TinyCfg());
+  ASSERT_TRUE(conzone.ok());
+  LegacyConfig lc;
+  lc.geometry.blocks_per_chip = 14;
+  lc.geometry.slc_blocks_per_chip = 4;
+  auto legacy = LegacyDevice::Create(lc);
+  ASSERT_TRUE(legacy.ok());
+  FemuConfig fc;
+  fc.geometry.blocks_per_chip = 14;
+  fc.geometry.slc_blocks_per_chip = 4;
+  auto femu = FemuModelDevice::Create(fc);
+  ASSERT_TRUE(femu.ok());
+
+  for (StorageDevice* dev :
+       {static_cast<StorageDevice*>(conzone.value().get()),
+        static_cast<StorageDevice*>(legacy.value().get()),
+        static_cast<StorageDevice*>(femu.value().get())}) {
+    FioRunner fio(*dev);
+    JobSpec w;
+    w.direction = IoDirection::kWrite;
+    w.block_size = 512 * kKiB;
+    w.region_size = 8 * kMiB;
+    w.io_count = 16;
+    auto r = fio.Run({w});
+    ASSERT_TRUE(r.ok()) << dev->info().name << ": " << r.status().ToString();
+    EXPECT_GT(r.value().MiBps(), 50.0) << dev->info().name;
+    EXPECT_LT(r.value().MiBps(), 20000.0) << dev->info().name;
+  }
+}
+
+TEST(IntegrationTest, OpenZoneLimitsHoldThroughTheDevice) {
+  ConZoneConfig cfg = TinyCfg();
+  cfg.max_open_zones = 2;
+  cfg.max_active_zones = 3;
+  auto dev = ConZoneDevice::Create(cfg);
+  ASSERT_TRUE(dev.ok());
+  ConZoneDevice& d = **dev;
+  SimTime t;
+  const std::uint64_t zb = d.info().zone_size_bytes;
+  ASSERT_TRUE(d.Write(0 * zb, 4096, t).ok());
+  ASSERT_TRUE(d.Write(1 * zb, 4096, t).ok());
+  ASSERT_TRUE(d.Write(2 * zb, 4096, t).ok());  // implicit-closes one
+  EXPECT_EQ(d.zones().active_count(), 3u);
+  auto r = d.Write(3 * zb, 4096, t);
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  // Resetting an active zone frees the slot.
+  ASSERT_TRUE(d.ResetZone(ZoneId{0}, t).ok());
+  EXPECT_TRUE(d.Write(3 * zb, 4096, t).ok());
+}
+
+TEST(IntegrationTest, FinishZoneFlushesAndSeals) {
+  auto dev = ConZoneDevice::Create(TinyCfg());
+  ASSERT_TRUE(dev.ok());
+  ConZoneDevice& d = **dev;
+  SimTime t;
+  t = d.Write(0, 40 * kKiB, t).value();
+  auto f = d.FinishZone(ZoneId{0}, t);
+  ASSERT_TRUE(f.ok());
+  t = f.value();
+  EXPECT_EQ(d.zones().Info(ZoneId{0}).state, ZoneState::kFull);
+  // Written prefix readable from media, not buffer RAM.
+  std::vector<std::uint64_t> got;
+  ASSERT_TRUE(d.Read(0, 40 * kKiB, t, &got).ok());
+  EXPECT_EQ(d.stats().buffer_ram_reads, 0u);
+  // Writes rejected after finish.
+  EXPECT_FALSE(d.Write(40 * kKiB, 4096, t).ok());
+}
+
+TEST(IntegrationTest, QlcConfigurationWorksEndToEnd) {
+  // §III-B: QLC uses a 64 KiB one-shot unit; zones then fit power-of-two
+  // naturally (256-page blocks => 16 MiB superblocks, no patch).
+  ConZoneConfig cfg = ConZoneConfig::PaperConfig();
+  cfg.geometry.normal_cell = CellType::kQlc;
+  cfg.geometry.program_unit = 64 * kKiB;
+  cfg.geometry.pages_per_block = 256;
+  cfg.geometry.blocks_per_chip = 14;
+  cfg.geometry.slc_blocks_per_chip = 4;
+  cfg.zone_size_bytes = 16 * kMiB;
+  auto dev = ConZoneDevice::Create(cfg);
+  ASSERT_TRUE(dev.ok()) << dev.status().ToString();
+  ConZoneDevice& d = **dev;
+  EXPECT_EQ(d.layout().patch_bytes(), 0u);  // no alignment patch needed
+  SimTime t;
+  ASSERT_TRUE(FioRunner::Precondition(d, 0, 16 * kMiB, 512 * kKiB, &t).ok());
+  EXPECT_EQ(d.stats().patch_runs, 0u);
+  EXPECT_EQ(d.stats().aggregates_zone, 1u);
+  std::vector<std::uint64_t> got;
+  ASSERT_TRUE(d.Read(0, 16 * kMiB, t, &got).ok());
+}
+
+}  // namespace
+}  // namespace conzone

@@ -1,0 +1,96 @@
+// Unit tests for the discrete-event engine: busy-until resource
+// timelines and the event queue.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/resource.hpp"
+
+namespace conzone {
+namespace {
+
+TEST(ResourceTimelineTest, IdleResourceStartsImmediately) {
+  ResourceTimeline r;
+  const auto res = r.Reserve(SimTime::FromNanos(100), SimDuration::Nanos(50));
+  EXPECT_EQ(res.start.ns(), 100u);
+  EXPECT_EQ(res.end.ns(), 150u);
+  EXPECT_EQ(r.busy_until().ns(), 150u);
+}
+
+TEST(ResourceTimelineTest, BusyResourceQueues) {
+  ResourceTimeline r;
+  r.Reserve(SimTime::Zero(), SimDuration::Nanos(100));
+  const auto second = r.Reserve(SimTime::FromNanos(10), SimDuration::Nanos(20));
+  EXPECT_EQ(second.start.ns(), 100u);  // waits for the first
+  EXPECT_EQ(second.end.ns(), 120u);
+}
+
+TEST(ResourceTimelineTest, GapLeavesResourceIdle) {
+  ResourceTimeline r;
+  r.Reserve(SimTime::Zero(), SimDuration::Nanos(10));
+  const auto late = r.Reserve(SimTime::FromNanos(1000), SimDuration::Nanos(10));
+  EXPECT_EQ(late.start.ns(), 1000u);
+  EXPECT_EQ(r.busy_time().ns(), 20u);  // utilization counts work only
+  EXPECT_EQ(r.reservations(), 2u);
+}
+
+TEST(ResourceTimelineTest, ResetClearsState) {
+  ResourceTimeline r;
+  r.Reserve(SimTime::Zero(), SimDuration::Nanos(10));
+  r.Reset();
+  EXPECT_EQ(r.busy_until().ns(), 0u);
+  EXPECT_EQ(r.busy_time().ns(), 0u);
+}
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(SimTime::FromNanos(300), [&](SimTime) { order.push_back(3); });
+  q.Schedule(SimTime::FromNanos(100), [&](SimTime) { order.push_back(1); });
+  q.Schedule(SimTime::FromNanos(200), [&](SimTime) { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now().ns(), 300u);
+}
+
+TEST(EventQueueTest, EqualTimestampsRunFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(SimTime::FromNanos(10), [&, i](SimTime) { order.push_back(i); });
+  }
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void(SimTime)> chain = [&](SimTime t) {
+    if (++count < 10) q.Schedule(t + SimDuration::Nanos(5), chain);
+  };
+  q.Schedule(SimTime::Zero(), chain);
+  q.RunAll();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(q.now().ns(), 45u);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int ran = 0;
+  q.Schedule(SimTime::FromNanos(10), [&](SimTime) { ran++; });
+  q.Schedule(SimTime::FromNanos(20), [&](SimTime) { ran++; });
+  q.Schedule(SimTime::FromNanos(30), [&](SimTime) { ran++; });
+  q.RunUntil(SimTime::FromNanos(20));
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, RunNextOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.RunNext());
+}
+
+}  // namespace
+}  // namespace conzone

@@ -1,0 +1,209 @@
+// Tests for the FIO-like workload runner against the real ConZone device.
+#include <gtest/gtest.h>
+
+#include "core/device.hpp"
+#include "workload/fio.hpp"
+
+namespace conzone {
+namespace {
+
+ConZoneConfig SmallCfg() {
+  ConZoneConfig cfg = ConZoneConfig::PaperConfig();
+  cfg.geometry.blocks_per_chip = 20;
+  cfg.geometry.slc_blocks_per_chip = 4;
+  return cfg;
+}
+
+class FioRunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dev = ConZoneDevice::Create(SmallCfg());
+    ASSERT_TRUE(dev.ok());
+    dev_ = std::move(dev).value();
+  }
+  std::unique_ptr<ConZoneDevice> dev_;
+};
+
+TEST_F(FioRunnerTest, IoCountStopsTheJob) {
+  FioRunner fio(*dev_);
+  JobSpec w;
+  w.direction = IoDirection::kWrite;
+  w.block_size = 128 * kKiB;
+  w.region_size = 16 * kMiB;
+  w.io_count = 10;
+  auto r = fio.Run({w});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().total.ops, 10u);
+  EXPECT_EQ(r.value().total.bytes, 10 * 128 * kKiB);
+  EXPECT_EQ(r.value().latency.count(), 10u);
+}
+
+TEST_F(FioRunnerTest, RuntimeStopsTheJob) {
+  FioRunner fio(*dev_);
+  JobSpec w;
+  w.direction = IoDirection::kWrite;
+  w.block_size = 384 * kKiB;
+  w.region_size = 16 * kMiB;
+  w.runtime = SimDuration::Millis(20);
+  auto r = fio.Run({w});
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().total.ops, 0u);
+  EXPECT_LE(r.value().end_time.ns(), SimDuration::Millis(25).ns() +
+                                         SimDuration::Millis(20).ns());
+}
+
+TEST_F(FioRunnerTest, SequentialWritesAreZoneLegal) {
+  // 48 KiB writes do not divide the zone size; the runner must clamp at
+  // zone boundaries instead of issuing a crossing write.
+  FioRunner fio(*dev_);
+  JobSpec w;
+  w.direction = IoDirection::kWrite;
+  w.block_size = 48 * kKiB;
+  w.region_size = 2 * 16 * kMiB;
+  w.io_count = 684;  // 342 clamped IOs fill each 16 MiB zone exactly
+  auto r = fio.Run({w});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(dev_->zones().Info(ZoneId{0}).state, ZoneState::kFull);
+  EXPECT_EQ(dev_->zones().Info(ZoneId{1}).state, ZoneState::kFull);
+}
+
+TEST_F(FioRunnerTest, RandomReadsStayInRegion) {
+  SimTime t;
+  ASSERT_TRUE(FioRunner::Precondition(*dev_, 16 * kMiB, 16 * kMiB, 512 * kKiB, &t).ok());
+  FioRunner fio(*dev_);
+  JobSpec rd;
+  rd.direction = IoDirection::kRead;
+  rd.pattern = IoPattern::kRandom;
+  rd.block_size = 4096;
+  rd.region_offset = 16 * kMiB;
+  rd.region_size = 16 * kMiB;
+  rd.io_count = 500;
+  auto r = fio.Run({rd}, t);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();  // any out-of-region read would fail
+  EXPECT_EQ(r.value().total.ops, 500u);
+}
+
+TEST_F(FioRunnerTest, ZoneListConcatenatesZones) {
+  SimTime t;
+  FioRunner fio(*dev_);
+  JobSpec w;
+  w.direction = IoDirection::kWrite;
+  w.block_size = 512 * kKiB;
+  w.zone_list = {1, 3};
+  w.io_count = 64;  // exactly two zones' worth
+  auto r = fio.Run({w}, t);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(dev_->zones().Info(ZoneId{1}).state, ZoneState::kFull);
+  EXPECT_EQ(dev_->zones().Info(ZoneId{3}).state, ZoneState::kFull);
+  EXPECT_EQ(dev_->zones().Info(ZoneId{2}).state, ZoneState::kEmpty);
+}
+
+TEST_F(FioRunnerTest, ZoneSpanLimitsAccessWindow) {
+  SimTime t;
+  ASSERT_TRUE(FioRunner::Precondition(*dev_, 0, 2 * kMiB, 512 * kKiB, &t).ok());
+  FioRunner fio(*dev_);
+  JobSpec rd;
+  rd.direction = IoDirection::kRead;
+  rd.pattern = IoPattern::kRandom;
+  rd.block_size = 4096;
+  rd.zone_list = {0};
+  rd.zone_span_bytes = 2 * kMiB;
+  rd.io_count = 300;
+  auto r = fio.Run({rd}, t);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST_F(FioRunnerTest, WrapWithResetRewritesZones) {
+  FioRunner fio(*dev_);
+  JobSpec w;
+  w.direction = IoDirection::kWrite;
+  w.block_size = 512 * kKiB;
+  w.zone_list = {0};
+  w.io_count = 80;  // 2.5 passes over one 16 MiB zone
+  w.reset_zones_on_wrap = true;
+  auto r = fio.Run({w});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(dev_->zones().Info(ZoneId{0}).resets, 2u);
+}
+
+TEST_F(FioRunnerTest, MultipleJobsInterleave) {
+  FioRunner fio(*dev_);
+  std::vector<JobSpec> jobs;
+  for (int j = 0; j < 2; ++j) {
+    JobSpec w;
+    w.name = "j" + std::to_string(j);
+    w.direction = IoDirection::kWrite;
+    w.block_size = 384 * kKiB;
+    w.zone_list = {static_cast<std::uint64_t>(j)};  // opposite buffers
+    w.io_count = 20;
+    jobs.push_back(w);
+  }
+  auto r = fio.Run(jobs);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().jobs.size(), 2u);
+  // Concurrency: the two jobs' spans overlap rather than run back-to-back.
+  const auto& a = r.value().jobs[0];
+  const auto& b = r.value().jobs[1];
+  EXPECT_LT(a.first_issue, b.last_completion);
+  EXPECT_LT(b.first_issue, a.last_completion);
+  const double serial =
+      a.throughput.elapsed.seconds() + b.throughput.elapsed.seconds();
+  EXPECT_LT(r.value().total.elapsed.seconds(), serial);
+}
+
+TEST_F(FioRunnerTest, ValidationRejectsBadSpecs) {
+  FioRunner fio(*dev_);
+  JobSpec w;  // empty region
+  EXPECT_FALSE(fio.Run({w}).ok());
+  w.region_size = 1 * kMiB;
+  EXPECT_FALSE(fio.Run({w}).ok());  // no stop condition
+  w.io_count = 1;
+  w.block_size = 100;  // misaligned
+  EXPECT_FALSE(fio.Run({w}).ok());
+  w.block_size = 4096;
+  w.region_offset = dev_->info().capacity_bytes;
+  EXPECT_FALSE(fio.Run({w}).ok());  // beyond capacity
+  JobSpec z;
+  z.zone_list = {999};  // no such zone
+  z.io_count = 1;
+  EXPECT_FALSE(fio.Run({z}).ok());
+}
+
+TEST_F(FioRunnerTest, DeviceErrorsAbortTheRun) {
+  FioRunner fio(*dev_);
+  JobSpec rd;  // reading unwritten space fails inside the device
+  rd.direction = IoDirection::kRead;
+  rd.block_size = 4096;
+  rd.region_size = 1 * kMiB;
+  rd.io_count = 5;
+  auto r = fio.Run({rd});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(FioRunnerTest, PreconditionFillsAndFlushes) {
+  SimTime t;
+  ASSERT_TRUE(FioRunner::Precondition(*dev_, 0, 16 * kMiB, 512 * kKiB, &t).ok());
+  EXPECT_GT(t.ns(), 0u);
+  EXPECT_EQ(dev_->zones().Info(ZoneId{0}).state, ZoneState::kFull);
+  // Everything durable: no buffer-RAM reads afterwards.
+  std::vector<std::uint64_t> got;
+  auto r = dev_->Read(0, 16 * kMiB, t, &got);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(dev_->stats().buffer_ram_reads, 0u);
+}
+
+TEST_F(FioRunnerTest, ThinkTimeSpacesRequests) {
+  FioRunner fio(*dev_);
+  JobSpec w;
+  w.direction = IoDirection::kWrite;
+  w.block_size = 4096;
+  w.region_size = 1 * kMiB;
+  w.io_count = 10;
+  w.think_time = SimDuration::Millis(1);
+  auto r = fio.Run({w});
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().total.elapsed.ms(), 9.0);
+}
+
+}  // namespace
+}  // namespace conzone
