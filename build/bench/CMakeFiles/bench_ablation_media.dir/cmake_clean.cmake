@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_media.dir/bench_ablation_media.cpp.o"
+  "CMakeFiles/bench_ablation_media.dir/bench_ablation_media.cpp.o.d"
+  "bench_ablation_media"
+  "bench_ablation_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

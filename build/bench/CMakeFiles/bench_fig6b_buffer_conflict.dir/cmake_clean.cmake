@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_buffer_conflict.dir/bench_fig6b_buffer_conflict.cpp.o"
+  "CMakeFiles/bench_fig6b_buffer_conflict.dir/bench_fig6b_buffer_conflict.cpp.o.d"
+  "bench_fig6b_buffer_conflict"
+  "bench_fig6b_buffer_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_buffer_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

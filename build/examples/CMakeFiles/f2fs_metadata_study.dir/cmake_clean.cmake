@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2fs_metadata_study.dir/f2fs_metadata_study.cpp.o"
+  "CMakeFiles/f2fs_metadata_study.dir/f2fs_metadata_study.cpp.o.d"
+  "f2fs_metadata_study"
+  "f2fs_metadata_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2fs_metadata_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

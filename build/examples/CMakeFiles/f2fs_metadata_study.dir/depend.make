@@ -1,0 +1,2 @@
+# Empty dependencies file for f2fs_metadata_study.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_pressure_study.dir/gc_pressure_study.cpp.o"
+  "CMakeFiles/gc_pressure_study.dir/gc_pressure_study.cpp.o.d"
+  "gc_pressure_study"
+  "gc_pressure_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_pressure_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_range_study.dir/read_range_study.cpp.o"
+  "CMakeFiles/read_range_study.dir/read_range_study.cpp.o.d"
+  "read_range_study"
+  "read_range_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_range_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for read_range_study.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_switch_study.dir/zone_switch_study.cpp.o"
+  "CMakeFiles/zone_switch_study.dir/zone_switch_study.cpp.o.d"
+  "zone_switch_study"
+  "zone_switch_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_switch_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conzone_buffer.dir/write_buffer.cpp.o"
+  "CMakeFiles/conzone_buffer.dir/write_buffer.cpp.o.d"
+  "libconzone_buffer.a"
+  "libconzone_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conzone_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

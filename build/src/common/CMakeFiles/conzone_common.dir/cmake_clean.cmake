@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conzone_common.dir/rng.cpp.o"
+  "CMakeFiles/conzone_common.dir/rng.cpp.o.d"
+  "CMakeFiles/conzone_common.dir/stats.cpp.o"
+  "CMakeFiles/conzone_common.dir/stats.cpp.o.d"
+  "CMakeFiles/conzone_common.dir/status.cpp.o"
+  "CMakeFiles/conzone_common.dir/status.cpp.o.d"
+  "CMakeFiles/conzone_common.dir/time.cpp.o"
+  "CMakeFiles/conzone_common.dir/time.cpp.o.d"
+  "libconzone_common.a"
+  "libconzone_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conzone_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

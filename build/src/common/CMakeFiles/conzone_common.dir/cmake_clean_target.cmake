@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libconzone_common.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conzone_core.dir/config.cpp.o"
+  "CMakeFiles/conzone_core.dir/config.cpp.o.d"
+  "CMakeFiles/conzone_core.dir/device.cpp.o"
+  "CMakeFiles/conzone_core.dir/device.cpp.o.d"
+  "CMakeFiles/conzone_core.dir/zone_layout.cpp.o"
+  "CMakeFiles/conzone_core.dir/zone_layout.cpp.o.d"
+  "libconzone_core.a"
+  "libconzone_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conzone_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

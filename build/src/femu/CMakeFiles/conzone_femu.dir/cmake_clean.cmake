@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conzone_femu.dir/femu_device.cpp.o"
+  "CMakeFiles/conzone_femu.dir/femu_device.cpp.o.d"
+  "libconzone_femu.a"
+  "libconzone_femu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conzone_femu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

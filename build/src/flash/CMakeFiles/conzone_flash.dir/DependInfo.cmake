@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flash/array.cpp" "src/flash/CMakeFiles/conzone_flash.dir/array.cpp.o" "gcc" "src/flash/CMakeFiles/conzone_flash.dir/array.cpp.o.d"
+  "/root/repo/src/flash/geometry.cpp" "src/flash/CMakeFiles/conzone_flash.dir/geometry.cpp.o" "gcc" "src/flash/CMakeFiles/conzone_flash.dir/geometry.cpp.o.d"
+  "/root/repo/src/flash/normal_allocator.cpp" "src/flash/CMakeFiles/conzone_flash.dir/normal_allocator.cpp.o" "gcc" "src/flash/CMakeFiles/conzone_flash.dir/normal_allocator.cpp.o.d"
+  "/root/repo/src/flash/slc_allocator.cpp" "src/flash/CMakeFiles/conzone_flash.dir/slc_allocator.cpp.o" "gcc" "src/flash/CMakeFiles/conzone_flash.dir/slc_allocator.cpp.o.d"
+  "/root/repo/src/flash/superblock.cpp" "src/flash/CMakeFiles/conzone_flash.dir/superblock.cpp.o" "gcc" "src/flash/CMakeFiles/conzone_flash.dir/superblock.cpp.o.d"
+  "/root/repo/src/flash/timing_engine.cpp" "src/flash/CMakeFiles/conzone_flash.dir/timing_engine.cpp.o" "gcc" "src/flash/CMakeFiles/conzone_flash.dir/timing_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/conzone_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/conzone_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conzone_flash.dir/array.cpp.o"
+  "CMakeFiles/conzone_flash.dir/array.cpp.o.d"
+  "CMakeFiles/conzone_flash.dir/geometry.cpp.o"
+  "CMakeFiles/conzone_flash.dir/geometry.cpp.o.d"
+  "CMakeFiles/conzone_flash.dir/normal_allocator.cpp.o"
+  "CMakeFiles/conzone_flash.dir/normal_allocator.cpp.o.d"
+  "CMakeFiles/conzone_flash.dir/slc_allocator.cpp.o"
+  "CMakeFiles/conzone_flash.dir/slc_allocator.cpp.o.d"
+  "CMakeFiles/conzone_flash.dir/superblock.cpp.o"
+  "CMakeFiles/conzone_flash.dir/superblock.cpp.o.d"
+  "CMakeFiles/conzone_flash.dir/timing_engine.cpp.o"
+  "CMakeFiles/conzone_flash.dir/timing_engine.cpp.o.d"
+  "libconzone_flash.a"
+  "libconzone_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conzone_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/l2p_cache.cpp" "src/ftl/CMakeFiles/conzone_ftl.dir/l2p_cache.cpp.o" "gcc" "src/ftl/CMakeFiles/conzone_ftl.dir/l2p_cache.cpp.o.d"
+  "/root/repo/src/ftl/mapping.cpp" "src/ftl/CMakeFiles/conzone_ftl.dir/mapping.cpp.o" "gcc" "src/ftl/CMakeFiles/conzone_ftl.dir/mapping.cpp.o.d"
+  "/root/repo/src/ftl/translator.cpp" "src/ftl/CMakeFiles/conzone_ftl.dir/translator.cpp.o" "gcc" "src/ftl/CMakeFiles/conzone_ftl.dir/translator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/conzone_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conzone_ftl.dir/l2p_cache.cpp.o"
+  "CMakeFiles/conzone_ftl.dir/l2p_cache.cpp.o.d"
+  "CMakeFiles/conzone_ftl.dir/mapping.cpp.o"
+  "CMakeFiles/conzone_ftl.dir/mapping.cpp.o.d"
+  "CMakeFiles/conzone_ftl.dir/translator.cpp.o"
+  "CMakeFiles/conzone_ftl.dir/translator.cpp.o.d"
+  "libconzone_ftl.a"
+  "libconzone_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conzone_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

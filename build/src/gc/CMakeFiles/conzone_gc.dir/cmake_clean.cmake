@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conzone_gc.dir/slc_gc.cpp.o"
+  "CMakeFiles/conzone_gc.dir/slc_gc.cpp.o.d"
+  "libconzone_gc.a"
+  "libconzone_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conzone_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

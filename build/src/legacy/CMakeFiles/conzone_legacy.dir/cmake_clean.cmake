@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conzone_legacy.dir/legacy_device.cpp.o"
+  "CMakeFiles/conzone_legacy.dir/legacy_device.cpp.o.d"
+  "libconzone_legacy.a"
+  "libconzone_legacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conzone_legacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

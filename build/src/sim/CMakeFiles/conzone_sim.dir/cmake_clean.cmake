@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conzone_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/conzone_sim.dir/event_queue.cpp.o.d"
+  "libconzone_sim.a"
+  "libconzone_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conzone_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conzone_workload.dir/fio.cpp.o"
+  "CMakeFiles/conzone_workload.dir/fio.cpp.o.d"
+  "libconzone_workload.a"
+  "libconzone_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conzone_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

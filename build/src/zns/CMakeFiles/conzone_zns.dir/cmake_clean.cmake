@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conzone_zns.dir/zone.cpp.o"
+  "CMakeFiles/conzone_zns.dir/zone.cpp.o.d"
+  "libconzone_zns.a"
+  "libconzone_zns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conzone_zns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

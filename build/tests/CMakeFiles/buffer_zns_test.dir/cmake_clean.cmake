@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_zns_test.dir/buffer_zns_test.cpp.o"
+  "CMakeFiles/buffer_zns_test.dir/buffer_zns_test.cpp.o.d"
+  "buffer_zns_test"
+  "buffer_zns_test.pdb"
+  "buffer_zns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_zns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

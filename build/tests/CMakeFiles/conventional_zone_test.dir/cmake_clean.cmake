@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conventional_zone_test.dir/conventional_zone_test.cpp.o"
+  "CMakeFiles/conventional_zone_test.dir/conventional_zone_test.cpp.o.d"
+  "conventional_zone_test"
+  "conventional_zone_test.pdb"
+  "conventional_zone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conventional_zone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

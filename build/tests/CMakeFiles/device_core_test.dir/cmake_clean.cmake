@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_core_test.dir/device_core_test.cpp.o"
+  "CMakeFiles/device_core_test.dir/device_core_test.cpp.o.d"
+  "device_core_test"
+  "device_core_test.pdb"
+  "device_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

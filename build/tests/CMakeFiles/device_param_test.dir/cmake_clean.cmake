@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_param_test.dir/device_param_test.cpp.o"
+  "CMakeFiles/device_param_test.dir/device_param_test.cpp.o.d"
+  "device_param_test"
+  "device_param_test.pdb"
+  "device_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

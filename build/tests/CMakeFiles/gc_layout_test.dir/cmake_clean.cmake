@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_layout_test.dir/gc_layout_test.cpp.o"
+  "CMakeFiles/gc_layout_test.dir/gc_layout_test.cpp.o.d"
+  "gc_layout_test"
+  "gc_layout_test.pdb"
+  "gc_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

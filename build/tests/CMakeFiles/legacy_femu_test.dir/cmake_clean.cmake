@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_femu_test.dir/legacy_femu_test.cpp.o"
+  "CMakeFiles/legacy_femu_test.dir/legacy_femu_test.cpp.o.d"
+  "legacy_femu_test"
+  "legacy_femu_test.pdb"
+  "legacy_femu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_femu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

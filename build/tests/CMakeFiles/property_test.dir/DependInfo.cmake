@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/property_test.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/legacy/CMakeFiles/conzone_legacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/femu/CMakeFiles/conzone_femu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/conzone_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/conzone_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/conzone_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/conzone_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/conzone_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/conzone_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/conzone_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/zns/CMakeFiles/conzone_zns.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/conzone_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_path_test.dir/read_path_test.cpp.o"
+  "CMakeFiles/read_path_test.dir/read_path_test.cpp.o.d"
+  "read_path_test"
+  "read_path_test.pdb"
+  "read_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
