@@ -1,0 +1,136 @@
+// Emulator self-benchmark: wall-clock throughput of the emulator itself.
+//
+// Unlike the fig*/table* benches — which report *simulated* bandwidth and
+// latency — this harness measures how fast the emulator machinery runs on
+// the host: simulated IOs per wall-clock second and simulator events per
+// wall-clock second, for random-read, sequential-write and mixed 4 KiB
+// workloads at iodepth 1/2/4/8. It is the regression gate for hot-path
+// work (event queue, L2P cache, address arithmetic, allocation-free IO
+// paths): run it before and after, and check sim_ios_per_s.
+//
+// Reference numbers are checked in at BENCH_emulator_throughput.json
+// (regenerate with:
+//   bench_emulator_throughput --benchmark_out=BENCH_emulator_throughput.json \
+//       --benchmark_out_format=json
+// absolute numbers are machine-dependent; compare ratios, not values).
+//
+// Simulated IOPS (sim_kiops) is exported too: it must be monotonically
+// non-decreasing in iodepth (more outstanding requests can only help a
+// device with idle parallelism), which the determinism tests assert.
+#include "bench_common.hpp"
+
+namespace conzone::bench {
+namespace {
+
+constexpr std::uint64_t kRegion = 64 * kMiB;  // 8 zones of the paper config
+
+JobSpec ReadSpec(std::uint64_t ios, std::uint64_t seed, std::uint32_t iodepth) {
+  JobSpec s;
+  s.name = "randread";
+  s.pattern = IoPattern::kRandom;
+  s.direction = IoDirection::kRead;
+  s.block_size = 4096;
+  s.region_offset = 0;
+  s.region_size = kRegion;
+  s.io_count = ios;
+  s.seed = seed;
+  s.iodepth = iodepth;
+  return s;
+}
+
+JobSpec WriteSpec(std::uint64_t ios, std::uint64_t seed, std::uint32_t iodepth) {
+  JobSpec s;
+  s.name = "seqwrite";
+  s.pattern = IoPattern::kSequential;
+  s.direction = IoDirection::kWrite;
+  s.block_size = 4096;
+  s.region_offset = kRegion;
+  s.region_size = kRegion;
+  s.io_count = ios;
+  s.reset_zones_on_wrap = true;
+  s.seed = seed;
+  s.iodepth = iodepth;
+  return s;
+}
+
+/// Reset the zones the write workload targets so each repetition starts
+/// from empty zones (included in the timed region, like a real rewrite).
+void ResetWriteZones(ConZoneDevice& dev, SimTime& t) {
+  const std::uint64_t zone = dev.config().zone_size_bytes;
+  for (std::uint64_t z = kRegion / zone; z < 2 * kRegion / zone; ++z) {
+    auto r = dev.ResetZone(ZoneId{z}, t);
+    if (!r.ok()) std::abort();
+    t = r.value();
+  }
+}
+
+void ExportWallClock(::benchmark::State& state, std::uint64_t ios,
+                     std::uint64_t events, double sim_kiops) {
+  state.counters["sim_ios_per_s"] =
+      ::benchmark::Counter(static_cast<double>(ios), ::benchmark::Counter::kIsRate);
+  state.counters["events_per_s"] =
+      ::benchmark::Counter(static_cast<double>(events), ::benchmark::Counter::kIsRate);
+  state.counters["sim_kiops"] = sim_kiops;
+}
+
+void BM_RandRead4K(::benchmark::State& state) {
+  const auto iodepth = static_cast<std::uint32_t>(state.range(0));
+  auto dev = MakeConZone();
+  SimTime cur = MustPrecondition(*dev, 0, kRegion);
+  constexpr std::uint64_t kIos = 40000;
+  std::uint64_t ios = 0, events = 0;
+  double sim_kiops = 0;
+  for (auto _ : state) {
+    RunResult r = MustRun(*dev, {ReadSpec(kIos, 1, iodepth)}, cur);
+    cur = r.end_time;
+    ios += r.total.ops;
+    events += r.events;
+    sim_kiops = r.Kiops();
+  }
+  ExportWallClock(state, ios, events, sim_kiops);
+}
+
+void BM_SeqWrite4K(::benchmark::State& state) {
+  const auto iodepth = static_cast<std::uint32_t>(state.range(0));
+  auto dev = MakeConZone();
+  SimTime cur = MustPrecondition(*dev, 0, kRegion);
+  constexpr std::uint64_t kIos = 32768;
+  std::uint64_t ios = 0, events = 0;
+  double sim_kiops = 0;
+  for (auto _ : state) {
+    ResetWriteZones(*dev, cur);
+    RunResult r = MustRun(*dev, {WriteSpec(kIos, 1, iodepth)}, cur);
+    cur = r.end_time;
+    ios += r.total.ops;
+    events += r.events;
+    sim_kiops = r.Kiops();
+  }
+  ExportWallClock(state, ios, events, sim_kiops);
+}
+
+void BM_Mixed4K(::benchmark::State& state) {
+  const auto iodepth = static_cast<std::uint32_t>(state.range(0));
+  auto dev = MakeConZone();
+  SimTime cur = MustPrecondition(*dev, 0, kRegion);
+  std::uint64_t ios = 0, events = 0;
+  double sim_kiops = 0;
+  for (auto _ : state) {
+    ResetWriteZones(*dev, cur);
+    RunResult r = MustRun(
+        *dev, {ReadSpec(20000, 1, iodepth), WriteSpec(16384, 2, iodepth)}, cur);
+    cur = r.end_time;
+    ios += r.total.ops;
+    events += r.events;
+    sim_kiops = r.Kiops();
+  }
+  ExportWallClock(state, ios, events, sim_kiops);
+}
+
+BENCHMARK(BM_RandRead4K)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(::benchmark::kMillisecond);
+BENCHMARK(BM_SeqWrite4K)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(::benchmark::kMillisecond);
+BENCHMARK(BM_Mixed4K)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(::benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace conzone::bench
+
+BENCHMARK_MAIN();

@@ -13,7 +13,8 @@ Status WriteBufferConfig::Validate() const {
   return Status::Ok();
 }
 
-WriteBufferPool::WriteBufferPool(const WriteBufferConfig& config) : cfg_(config) {
+WriteBufferPool::WriteBufferPool(const WriteBufferConfig& config)
+    : cfg_(config), div_num_buffers_(config.num_buffers) {
   assert(cfg_.Validate().ok());
   buffers_.resize(cfg_.num_buffers);
   last_append_.resize(cfg_.num_buffers, 0);
@@ -22,7 +23,7 @@ WriteBufferPool::WriteBufferPool(const WriteBufferConfig& config) : cfg_(config)
 WriteBufferId WriteBufferPool::BufferForZone(ZoneId zone) const {
   switch (cfg_.policy) {
     case BufferMappingPolicy::kModulo:
-      return WriteBufferId(zone.value() % cfg_.num_buffers);
+      return WriteBufferId(div_num_buffers_.Mod(zone.value()));
   }
   return WriteBufferId(0);
 }

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "common/fastdiv.hpp"
 #include "common/ids.hpp"
 #include "common/status.hpp"
 #include "flash/array.hpp"
@@ -99,6 +100,7 @@ class WriteBufferPool {
 
  private:
   WriteBufferConfig cfg_;
+  FastDiv div_num_buffers_;  ///< BufferForZone runs once per write IO.
   std::vector<BufferedExtent> buffers_;
   std::vector<std::uint64_t> last_append_;  ///< Recency for stream picking.
   std::uint64_t append_clock_ = 0;

@@ -1,0 +1,62 @@
+// Exact division by a run-time-invariant divisor without the hardware
+// divider.
+//
+// The emulator's hot paths are dominated by address arithmetic — byte
+// offset to slot/zone/page/unit decompositions — whose divisors are
+// fixed at configuration time (slot size, zone size, program unit, chip
+// count, ...) but are run-time values to the compiler, so every `/` and
+// `%` costs a 64-bit divide (~20+ cycles). FastDiv precomputes a
+// reciprocal once and answers each division with two widening
+// multiplies.
+//
+// Exactness: with c = ceil(2^128 / d), floor(x * c / 2^128) == floor(x/d)
+// for every x < 2^64 and every divisor 2 <= d < 2^64. (The error term
+// x * (d - 2^128 mod d) / (d * 2^128) is below x / 2^128 < 2^-64 <= 1/d,
+// too small to carry the value across the next multiple of 1/d; see
+// Lemire, "Faster remainder by direct computation", extended to a
+// 128-bit reciprocal.) Results are therefore bit-identical to hardware
+// division for all operands; d == 1 short-circuits to x and d == 0
+// divides by zero just like the hardware would.
+#pragma once
+
+#include <cstdint>
+
+namespace conzone {
+
+class FastDiv {
+ public:
+  FastDiv() = default;
+  explicit FastDiv(std::uint64_t d) : d_(d) {
+    if (d >= 2) {
+      // ceil(2^128 / d), computed as floor((2^128 - 1) / d) + 1 (equal to
+      // the ceiling whether or not d divides 2^128).
+      const unsigned __int128 c = ~static_cast<unsigned __int128>(0) / d + 1;
+      magic_hi_ = static_cast<std::uint64_t>(c >> 64);
+      magic_lo_ = static_cast<std::uint64_t>(c);
+    }
+  }
+
+  std::uint64_t Div(std::uint64_t x) const {
+    // magic_hi_ >= 1 whenever d >= 2 (c >= 2^64); 0 means d is 0 or 1 and
+    // the hardware divider preserves exact semantics (incl. the d==0 trap).
+    if (magic_hi_ == 0) return x / d_;
+    // floor(x * c / 2^128) via two 64x64->128 multiplies:
+    //   x*c = x*hi * 2^64 + x*lo, so the top 64 bits of the 192-bit
+    //   product are (x*hi + high64(x*lo)) >> 64.
+    const std::uint64_t t = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(magic_lo_) * x) >> 64);
+    return static_cast<std::uint64_t>(
+        ((static_cast<unsigned __int128>(magic_hi_) * x) + t) >> 64);
+  }
+
+  std::uint64_t Mod(std::uint64_t x) const { return x - Div(x) * d_; }
+
+  std::uint64_t value() const { return d_; }
+
+ private:
+  std::uint64_t d_ = 1;
+  std::uint64_t magic_hi_ = 0;  // 0 = always use the hardware divider
+  std::uint64_t magic_lo_ = 0;
+};
+
+}  // namespace conzone

@@ -35,7 +35,11 @@ std::uint64_t Rng::Next() {
 std::uint64_t Rng::NextBelow(std::uint64_t bound) {
   // Lemire's multiply-shift with rejection for exact uniformity.
   if (bound == 0) return 0;
-  std::uint64_t threshold = (0 - bound) % bound;
+  return NextBelow(bound, RejectionThreshold(bound));
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t bound, std::uint64_t threshold) {
+  if (bound == 0) return 0;
   for (;;) {
     std::uint64_t r = Next();
     // 128-bit multiply-high.

@@ -24,6 +24,15 @@ class Rng {
   /// Uniform in [0, bound), bias-free via rejection; bound must be > 0.
   std::uint64_t NextBelow(std::uint64_t bound);
 
+  /// Rejection threshold for `bound` — precompute it once when drawing
+  /// many values below the same bound (saves a 64-bit division per draw).
+  static std::uint64_t RejectionThreshold(std::uint64_t bound) {
+    return bound ? (0 - bound) % bound : 0;
+  }
+
+  /// NextBelow with a caller-precomputed RejectionThreshold(bound).
+  std::uint64_t NextBelow(std::uint64_t bound, std::uint64_t threshold);
+
   /// Uniform in [lo, hi] inclusive.
   std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi);
 

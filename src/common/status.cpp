@@ -17,10 +17,10 @@ std::string_view StatusCodeName(StatusCode code) {
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out(StatusCodeName(code_));
-  if (!message_.empty()) {
+  std::string out(StatusCodeName(code()));
+  if (!message().empty()) {
     out += ": ";
-    out += message_;
+    out += message();
   }
   return out;
 }

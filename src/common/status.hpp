@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cassert>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -25,11 +26,25 @@ enum class StatusCode {
 
 std::string_view StatusCodeName(StatusCode code);
 
+// OK is represented as a null rep so the success path — every per-IO
+// return — costs one pointer move and no string traffic; only the error
+// path (which aborts the run anyway) pays for an allocation.
 class [[nodiscard]] Status {
  public:
   Status() = default;  // OK.
   Status(StatusCode code, std::string message)
-      : code_(code), message_(std::move(message)) {}
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_unique<Rep>(Rep{code, std::move(message)})) {}
+
+  Status(const Status& other)
+      : rep_(other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
 
   static Status Ok() { return Status(); }
   static Status InvalidArgument(std::string msg) {
@@ -51,14 +66,20 @@ class [[nodiscard]] Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
   std::string ToString() const;
 
  private:
-  StatusCode code_ = StatusCode::kOk;
-  std::string message_;
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<Rep> rep_;
 };
 
 template <class T>

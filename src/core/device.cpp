@@ -48,7 +48,17 @@ ConZoneDevice::ConZoneDevice(const ConZoneConfig& config)
       translator_(table_, cache_, *this, cfg_.translator),
       gc_(array_, engine_, pool_, slc_alloc_, cfg_.gc),
       l2p_log_(cfg_.l2p_log),
-      conv_alloc_(array_, pool_) {
+      conv_alloc_(array_, pool_),
+      div_slot_(cfg_.geometry.slot_size),
+      div_zone_(cfg_.zone_size_bytes),
+      div_slots_per_page_(cfg_.geometry.slot_size ? cfg_.geometry.SlotsPerPage() : 0),
+      div_lpns_per_zone_(cfg_.geometry.slot_size
+                             ? cfg_.zone_size_bytes / cfg_.geometry.slot_size
+                             : 0),
+      div_host_bw_(cfg_.host_link_bandwidth_bps),
+      lpns_per_zone_(cfg_.geometry.slot_size
+                         ? cfg_.zone_size_bytes / cfg_.geometry.slot_size
+                         : 0) {
   runtime_.resize(cfg_.num_conventional_zones + layout_.num_zones());
   buffer_ready_.resize(cfg_.buffers.num_buffers, SimTime::Zero());
   gc_.set_remap_hook(
@@ -73,6 +83,12 @@ DeviceInfo ConZoneDevice::info() const {
 }
 
 SimDuration ConZoneDevice::HostTransferTime(std::uint64_t bytes) const {
+  // Same 64-bit fast path as TimingConfig::TransferTime: request sizes
+  // keep bytes * 1e9 well inside 64 bits, and the link bandwidth is
+  // fixed, so the reciprocal answers exactly.
+  if (bytes <= UINT64_MAX / 1000000000ull) {
+    return SimDuration::Nanos(div_host_bw_.Div(bytes * 1000000000ull));
+  }
   const unsigned __int128 ns = static_cast<unsigned __int128>(bytes) * 1000000000ull /
                                cfg_.host_link_bandwidth_bps;
   return SimDuration::Nanos(static_cast<std::uint64_t>(ns));
@@ -102,19 +118,19 @@ void ConZoneDevice::ResetStats() {
 
 Result<SimTime> ConZoneDevice::Write(std::uint64_t offset, std::uint64_t len, SimTime now,
                                      std::span<const std::uint64_t> tokens) {
-  const std::uint64_t slot = cfg_.geometry.slot_size;
-  if (offset % slot != 0 || len % slot != 0 || len == 0) {
+  if (div_slot_.Mod(offset) != 0 || div_slot_.Mod(len) != 0 || len == 0) {
     return Status::InvalidArgument("write must be 4 KiB aligned and non-empty");
   }
-  const ZoneId zone{offset / cfg_.zone_size_bytes};
-  const std::uint64_t off_in_zone = offset % cfg_.zone_size_bytes;
+  const std::uint64_t nslots = div_slot_.Div(len);
+  const ZoneId zone{div_zone_.Div(offset)};
+  const std::uint64_t off_in_zone = offset - zone.value() * cfg_.zone_size_bytes;
   if (zone.value() >= cfg_.num_conventional_zones + layout_.num_zones()) {
     return Status::OutOfRange("write beyond device capacity");
   }
   if (off_in_zone + len > cfg_.zone_size_bytes) {
     return Status::InvalidArgument("write crosses a zone boundary");
   }
-  if (!tokens.empty() && tokens.size() != len / slot) {
+  if (!tokens.empty() && tokens.size() != nslots) {
     return Status::InvalidArgument("token count != written 4 KiB pages");
   }
   if (IsConventional(zone)) {
@@ -129,8 +145,7 @@ Result<SimTime> ConZoneDevice::Write(std::uint64_t offset, std::uint64_t len, Si
   SimTime t = now + cfg_.request_overhead;
   t = host_link_.Reserve(t, HostTransferTime(len)).end;
 
-  const std::uint64_t nslots = len / slot;
-  const Lpn first_lpn = Lpn(offset / slot);
+  const Lpn first_lpn = Lpn(div_slot_.Div(offset));
   const WriteBufferId buf = buffers_.BufferForZone(zone);
 
   std::uint64_t i = 0;
@@ -152,8 +167,8 @@ Result<SimTime> ConZoneDevice::Write(std::uint64_t offset, std::uint64_t len, Si
 
     const std::uint64_t free = buffers_.FreeSlots(buf);
     const std::uint64_t n = std::min(free, nslots - i);
-    std::vector<SlotWrite> chunk;
-    chunk.reserve(n);
+    std::vector<SlotWrite>& chunk = chunk_scratch_;
+    chunk.clear();
     for (std::uint64_t k = 0; k < n; ++k) {
       const Lpn lpn = Lpn(first_lpn.value() + i + k);
       const std::uint64_t token = tokens.empty() ? DefaultToken(lpn) : tokens[i + k];
@@ -320,9 +335,10 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushExtent(BufferedExtent ext
   bool staged_anything = false;
 
   // (1)/(3): fold whole program units into the reserved normal blocks.
+  std::vector<SlotWrite> data;
+  data.reserve(unit / geo.slot_size);
   while (cur < layout_.normal_bytes() && cur + unit <= ext_end) {
-    std::vector<SlotWrite> data;
-    data.reserve(unit / geo.slot_size);
+    data.clear();
     SimTime reads_done = now;
     std::uint64_t staged_bytes = 0;
     if (cur < zr.staged_end) {
@@ -469,7 +485,7 @@ std::optional<Ppn> ConZoneDevice::ResolveAggregated(MapGranularity gran,
                                                     Lpn lpn) const {
   (void)gran;
   (void)unit_index;
-  const ZoneId zone{lpn.value() / LpnsPerZone()};
+  const ZoneId zone{div_lpns_per_zone_.Div(lpn.value())};
   if (IsConventional(zone)) return std::nullopt;  // never aggregated
   if (zone.value() >= cfg_.num_conventional_zones + layout_.num_zones()) {
     return std::nullopt;
@@ -534,7 +550,7 @@ Result<SimTime> ConZoneDevice::Read(std::uint64_t offset, std::uint64_t len, Sim
                                     std::vector<std::uint64_t>* tokens_out) {
   const FlashGeometry& geo = cfg_.geometry;
   const std::uint64_t slot = geo.slot_size;
-  if (offset % slot != 0 || len % slot != 0 || len == 0) {
+  if (div_slot_.Mod(offset) != 0 || div_slot_.Mod(len) != 0 || len == 0) {
     return Status::InvalidArgument("read must be 4 KiB aligned and non-empty");
   }
   if (offset + len > layout_.device_capacity()) {
@@ -549,12 +565,8 @@ Result<SimTime> ConZoneDevice::Read(std::uint64_t offset, std::uint64_t len, Sim
   // Per-request page groups: every distinct flash page touched costs one
   // sense + one transfer of its live slots, no matter how the slots are
   // interleaved (SLC staging stripes consecutive LPNs across chips).
-  struct PageGroup {
-    FlashPageId page;
-    std::uint32_t slots = 0;
-    SimTime dep;  // latest metadata fetch feeding this page
-  };
-  std::vector<PageGroup> groups;
+  std::vector<PageGroup>& groups = read_groups_;
+  groups.clear();
   auto add_to_group = [&](FlashPageId page, SimTime dep) {
     for (PageGroup& g : groups) {
       if (g.page == page) {
@@ -567,9 +579,9 @@ Result<SimTime> ConZoneDevice::Read(std::uint64_t offset, std::uint64_t len, Sim
   };
 
   for (std::uint64_t off = offset; off < offset + len; off += slot) {
-    const Lpn lpn = Lpn(off / slot);
-    const ZoneId zone{off / cfg_.zone_size_bytes};
-    const std::uint64_t off_in_zone = off % cfg_.zone_size_bytes;
+    const Lpn lpn = Lpn(div_slot_.Div(off));
+    const ZoneId zone{div_zone_.Div(off)};
+    const std::uint64_t off_in_zone = off - zone.value() * cfg_.zone_size_bytes;
     if (IsConventional(zone)) {
       // In-place region: no write pointer; validity comes from the
       // mapping itself. Buffered updates are served from RAM.
@@ -592,7 +604,7 @@ Result<SimTime> ConZoneDevice::Read(std::uint64_t offset, std::uint64_t len, Sim
                                 std::to_string(lpn.value()) + ")");
       }
       if (tokens_out) tokens_out->push_back(r.token);
-      add_to_group(geo.PageOfSlot(tr.value().ppn), dep);
+      add_to_group(FlashPageId(div_slots_per_page_.Div(tr.value().ppn.value())), dep);
       continue;
     }
     if (Status st = zones_.CheckRead(zone, off_in_zone, slot); !st.ok()) return st;
@@ -633,7 +645,7 @@ Result<SimTime> ConZoneDevice::Read(std::uint64_t offset, std::uint64_t len, Sim
                               std::to_string(ppn.value()) + ")");
     }
     if (tokens_out) tokens_out->push_back(r.token);
-    add_to_group(geo.PageOfSlot(ppn), dep);
+    add_to_group(FlashPageId(div_slots_per_page_.Div(ppn.value())), dep);
   }
 
   for (const PageGroup& g : groups) {
@@ -742,7 +754,6 @@ Status ConZoneDevice::SetMappingInPlace(Lpn lpn, Ppn ppn) {
 Result<SimTime> ConZoneDevice::WriteConventional(ZoneId zone, std::uint64_t offset,
                                                  std::uint64_t len, SimTime now,
                                                  std::span<const std::uint64_t> tokens) {
-  const std::uint64_t slot = cfg_.geometry.slot_size;
   ++stats_.writes;
   ++stats_.conventional_writes;
   stats_.host_bytes_written += len;
@@ -750,8 +761,8 @@ Result<SimTime> ConZoneDevice::WriteConventional(ZoneId zone, std::uint64_t offs
   SimTime t = now + cfg_.request_overhead;
   t = host_link_.Reserve(t, HostTransferTime(len)).end;
 
-  const std::uint64_t nslots = len / slot;
-  const Lpn first_lpn = Lpn(offset / slot);
+  const std::uint64_t nslots = div_slot_.Div(len);
+  const Lpn first_lpn = Lpn(div_slot_.Div(offset));
 
   std::uint64_t i = 0;
   while (i < nslots) {
@@ -780,8 +791,8 @@ Result<SimTime> ConZoneDevice::WriteConventional(ZoneId zone, std::uint64_t offs
 
     const std::uint64_t free = buffers_.FreeSlots(buf);
     const std::uint64_t n = std::min(free, nslots - i);
-    std::vector<SlotWrite> chunk;
-    chunk.reserve(n);
+    std::vector<SlotWrite>& chunk = chunk_scratch_;
+    chunk.clear();
     for (std::uint64_t k = 0; k < n; ++k) {
       const Lpn lpn = Lpn(first_lpn.value() + i + k);
       chunk.push_back(

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "buffer/write_buffer.hpp"
+#include "common/fastdiv.hpp"
 #include "core/config.hpp"
 #include "core/storage_device.hpp"
 #include "core/zone_layout.hpp"
@@ -137,7 +138,7 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
 
   SimDuration HostTransferTime(std::uint64_t bytes) const;
   Lpn ZoneBaseLpn(ZoneId zone) const;
-  std::uint64_t LpnsPerZone() const { return cfg_.zone_size_bytes / cfg_.geometry.slot_size; }
+  std::uint64_t LpnsPerZone() const { return lpns_per_zone_; }
 
   /// Two completion horizons of a flush: the write-buffer SRAM is free to
   /// accept new data once the flash transfers drain (`sram_free`); the
@@ -223,6 +224,27 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
   std::vector<ZoneRuntime> runtime_;
   std::vector<SimTime> buffer_ready_;  ///< Per-buffer flush completion.
   ConZoneStats stats_;
+
+  /// One flash page touched by a read request and the slots it serves.
+  struct PageGroup {
+    FlashPageId page;
+    std::uint32_t slots = 0;
+    SimTime dep;  // latest metadata fetch feeding this page
+  };
+  // Per-request scratch buffers: Read/Write never recurse into
+  // themselves, so reusing these keeps the per-IO paths allocation-free
+  // after warm-up (capacity is retained across requests).
+  std::vector<PageGroup> read_groups_;   ///< Read()
+  std::vector<SlotWrite> chunk_scratch_; ///< Write()/WriteConventional()
+
+  // Reciprocals of the configuration constants the per-IO paths divide
+  // by (the hardware divider is a measurable fraction of an emulated IO).
+  FastDiv div_slot_;            ///< geometry.slot_size
+  FastDiv div_zone_;            ///< zone_size_bytes
+  FastDiv div_slots_per_page_;  ///< geometry.SlotsPerPage()
+  FastDiv div_lpns_per_zone_;   ///< zone_size / slot_size
+  FastDiv div_host_bw_;         ///< host_link_bandwidth_bps
+  std::uint64_t lpns_per_zone_ = 0;
 };
 
 }  // namespace conzone

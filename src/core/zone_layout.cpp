@@ -16,7 +16,13 @@ ZoneLayout::ZoneLayout(const FlashGeometry& geometry, std::uint64_t zone_size_by
       num_zones_(superblocks_per_zone && geo_.NumNormalSuperblocks() > reserve_offset_superblocks
                      ? (geo_.NumNormalSuperblocks() - reserve_offset_superblocks) /
                            superblocks_per_zone
-                     : 0) {}
+                     : 0),
+      div_chips_(geo_.NumChips()),
+      div_units_per_block_(geo_.PagesPerProgramUnit() ? geo_.UnitsPerBlock() : 0),
+      div_program_unit_(geo_.program_unit),
+      div_page_size_(geo_.page_size),
+      div_slot_size_(geo_.slot_size),
+      pages_per_unit_(geo_.page_size ? geo_.PagesPerProgramUnit() : 0) {}
 
 Status ZoneLayout::Validate() const {
   if (sbs_per_zone_ == 0) {
@@ -47,28 +53,28 @@ SuperblockId ZoneLayout::SuperblockOfZone(ZoneId zone, std::uint32_t k) const {
 }
 
 ZoneLayout::UnitLoc ZoneLayout::UnitAt(ZoneId zone, std::uint64_t unit_index) const {
-  const std::uint32_t chips = geo_.NumChips();
-  const std::uint32_t chip = static_cast<std::uint32_t>(unit_index % chips);
-  const std::uint64_t row = unit_index / chips;
-  const std::uint32_t units_per_block = geo_.UnitsPerBlock();
-  const std::uint32_t sb_k = static_cast<std::uint32_t>(row / units_per_block);
-  const std::uint32_t block_row = static_cast<std::uint32_t>(row % units_per_block);
+  const std::uint64_t row = div_chips_.Div(unit_index);
+  const std::uint32_t chip =
+      static_cast<std::uint32_t>(unit_index - row * div_chips_.value());
+  const std::uint32_t sb_k = static_cast<std::uint32_t>(div_units_per_block_.Div(row));
+  const std::uint32_t block_row = static_cast<std::uint32_t>(
+      row - sb_k * div_units_per_block_.value());
   UnitLoc loc;
   loc.chip = ChipId{chip};
   loc.block = geo_.BlockOfSuperblock(SuperblockOfZone(zone, sb_k), loc.chip);
-  loc.first_page_in_block = block_row * geo_.PagesPerProgramUnit();
+  loc.first_page_in_block = block_row * pages_per_unit_;
   return loc;
 }
 
 Ppn ZoneLayout::NormalSlot(ZoneId zone, std::uint64_t offset) const {
   assert(offset < normal_bytes_);
-  const std::uint64_t unit = offset / geo_.program_unit;
-  const std::uint64_t in_unit = offset % geo_.program_unit;
+  const std::uint64_t unit = div_program_unit_.Div(offset);
+  const std::uint64_t in_unit = offset - unit * div_program_unit_.value();
   const UnitLoc loc = UnitAt(zone, unit);
   const std::uint32_t page =
-      loc.first_page_in_block + static_cast<std::uint32_t>(in_unit / geo_.page_size);
-  const std::uint32_t slot = static_cast<std::uint32_t>((in_unit % geo_.page_size) /
-                                                        geo_.slot_size);
+      loc.first_page_in_block + static_cast<std::uint32_t>(div_page_size_.Div(in_unit));
+  const std::uint32_t slot = static_cast<std::uint32_t>(
+      div_slot_size_.Div(div_page_size_.Mod(in_unit)));
   return geo_.SlotAt(geo_.PageAt(loc.block, page), slot);
 }
 

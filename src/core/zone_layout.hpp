@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/fastdiv.hpp"
 #include "common/ids.hpp"
 #include "common/status.hpp"
 #include "flash/geometry.hpp"
@@ -85,6 +86,15 @@ class ZoneLayout {
   std::uint32_t reserve_offset_;
   std::uint64_t normal_bytes_;
   std::uint32_t num_zones_;
+  // Reciprocals of the geometry constants used by the per-IO address
+  // arithmetic (UnitAt / NormalSlot sit on the read hot path through
+  // aggregated-entry resolution).
+  FastDiv div_chips_;
+  FastDiv div_units_per_block_;
+  FastDiv div_program_unit_;
+  FastDiv div_page_size_;
+  FastDiv div_slot_size_;
+  std::uint32_t pages_per_unit_ = 0;  ///< geo_.PagesPerProgramUnit()
 };
 
 }  // namespace conzone

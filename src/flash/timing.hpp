@@ -56,7 +56,12 @@ struct TimingConfig {
   /// Time to move `bytes` over one channel.
   SimDuration TransferTime(std::uint64_t bytes) const {
     if (channel_bandwidth_bps == 0) return SimDuration();  // ideal bus (FEMU mode)
-    // ns = bytes / (B/s) * 1e9, computed in 128-bit to avoid overflow.
+    // ns = bytes / (B/s) * 1e9. Transfers are at most a few MiB, so the
+    // product fits in 64 bits and the (much cheaper) 64-bit divider
+    // gives the same result; only absurd sizes take the 128-bit path.
+    if (bytes <= UINT64_MAX / 1000000000ull) {
+      return SimDuration::Nanos(bytes * 1000000000ull / channel_bandwidth_bps);
+    }
     const unsigned __int128 ns =
         static_cast<unsigned __int128>(bytes) * 1000000000ull / channel_bandwidth_bps;
     return SimDuration::Nanos(static_cast<std::uint64_t>(ns));

@@ -6,10 +6,14 @@ namespace conzone {
 
 FlashTimingEngine::FlashTimingEngine(const FlashGeometry& geometry,
                                      const TimingConfig& timing)
-    : geo_(geometry), timing_(timing) {
+    : geo_(geometry), timing_(timing), div_bw_(timing.channel_bandwidth_bps) {
   chips_.resize(geo_.NumChips());
   chip_reads_.resize(geo_.NumChips());
   channels_.resize(geo_.channels);
+  bus_of_chip_.resize(geo_.NumChips());
+  for (std::uint32_t c = 0; c < geo_.NumChips(); ++c) {
+    bus_of_chip_[c] = static_cast<std::uint32_t>(geo_.ChannelOfChip(ChipId{c}).value());
+  }
   last_pulse_start_.resize(geo_.NumChips(), SimTime::Zero());
 }
 
@@ -17,7 +21,7 @@ SimTime FlashTimingEngine::ReadPage(ChipId chip, CellType cell, std::uint64_t by
                                     SimTime issue) {
   assert(chip.value() < chips_.size());
   auto& die = chips_[static_cast<std::size_t>(chip.value())];
-  auto& bus = channels_[static_cast<std::size_t>(geo_.ChannelOfChip(chip).value())];
+  auto& bus = BusOf(chip);
 
   ResourceTimeline::Reservation sense;
   if (timing_.program_suspend_reads) {
@@ -32,7 +36,7 @@ SimTime FlashTimingEngine::ReadPage(ChipId chip, CellType cell, std::uint64_t by
   } else {
     sense = die.Reserve(issue, timing_.For(cell).read_latency);
   }
-  const auto xfer = bus.Reserve(sense.end, timing_.TransferTime(bytes));
+  const auto xfer = bus.Reserve(sense.end, XferTime(bytes));
   if (!timing_.program_suspend_reads && xfer.end > die.busy_until()) {
     // The die's register holds the data until the bus drains it; extend
     // the die occupancy without double-counting utilization.
@@ -46,13 +50,13 @@ FlashTimingEngine::ProgramResult FlashTimingEngine::Program(ChipId chip, CellTyp
                                                             SimTime issue) {
   assert(chip.value() < chips_.size());
   auto& die = chips_[static_cast<std::size_t>(chip.value())];
-  auto& bus = channels_[static_cast<std::size_t>(geo_.ChannelOfChip(chip).value())];
+  auto& bus = BusOf(chip);
 
   // Cache-register pipelining, one level deep: the transfer may overlap
   // the die's in-flight pulse, but only once that pulse has latched the
   // register (pulse start).
   const SimTime reg_free = last_pulse_start_[static_cast<std::size_t>(chip.value())];
-  const auto xfer = bus.Reserve(Later(issue, reg_free), timing_.TransferTime(bytes));
+  const auto xfer = bus.Reserve(Later(issue, reg_free), XferTime(bytes));
   const auto pulse = die.Reserve(xfer.end, timing_.For(cell).program_latency);
   last_pulse_start_[static_cast<std::size_t>(chip.value())] = pulse.start;
   return ProgramResult{xfer.end, pulse.end};
@@ -63,7 +67,7 @@ FlashTimingEngine::ProgramResult FlashTimingEngine::ProgramFold(
     SimTime fresh_ready, SimTime staged_ready) {
   assert(chip.value() < chips_.size());
   auto& die = chips_[static_cast<std::size_t>(chip.value())];
-  auto& bus = channels_[static_cast<std::size_t>(geo_.ChannelOfChip(chip).value())];
+  auto& bus = BusOf(chip);
 
   // The fresh (write-buffer) part streams into the die's cache register
   // as soon as the register is free — this is the moment the buffer SRAM
@@ -71,9 +75,9 @@ FlashTimingEngine::ProgramResult FlashTimingEngine::ProgramFold(
   // complete; the pulse fires when the whole unit is assembled.
   const SimTime reg_free = last_pulse_start_[static_cast<std::size_t>(chip.value())];
   const auto fresh =
-      bus.Reserve(Later(fresh_ready, reg_free), timing_.TransferTime(fresh_bytes));
+      bus.Reserve(Later(fresh_ready, reg_free), XferTime(fresh_bytes));
   const auto staged = bus.Reserve(Later(staged_ready, fresh.end),
-                                  timing_.TransferTime(total_bytes - fresh_bytes));
+                                  XferTime(total_bytes - fresh_bytes));
   const auto pulse = die.Reserve(staged.end, timing_.For(cell).program_latency);
   last_pulse_start_[static_cast<std::size_t>(chip.value())] = pulse.start;
   return ProgramResult{fresh.end, pulse.end};

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "common/fastdiv.hpp"
 #include "common/ids.hpp"
 #include "common/time.hpp"
 #include "flash/geometry.hpp"
@@ -63,11 +64,29 @@ class FlashTimingEngine {
   SimDuration TotalChannelBusy() const;
 
  private:
+  /// Channel bus serving `chip` (chip→channel mapping is fixed at
+  /// construction; indexing a table beats re-dividing per operation).
+  ResourceTimeline& BusOf(ChipId chip) {
+    return channels_[bus_of_chip_[static_cast<std::size_t>(chip.value())]];
+  }
+
+  /// TimingConfig::TransferTime with the bandwidth division answered by
+  /// the precomputed reciprocal (one transfer per flash op adds up).
+  SimDuration XferTime(std::uint64_t bytes) const {
+    if (timing_.channel_bandwidth_bps == 0) return SimDuration();
+    if (bytes <= UINT64_MAX / 1000000000ull) {
+      return SimDuration::Nanos(div_bw_.Div(bytes * 1000000000ull));
+    }
+    return timing_.TransferTime(bytes);
+  }
+
   FlashGeometry geo_;
   TimingConfig timing_;
   std::vector<ResourceTimeline> chips_;       ///< Program/erase path per die.
   std::vector<ResourceTimeline> chip_reads_;  ///< Suspend-mode read path per die.
   std::vector<ResourceTimeline> channels_;
+  std::vector<std::uint32_t> bus_of_chip_;    ///< chip -> index in channels_
+  FastDiv div_bw_;                            ///< timing_.channel_bandwidth_bps
   /// Start time of each die's most recent program pulse. The die's single
   /// cache register frees when the pulse latches it into the array, so
   /// the *next* program's transfer may begin then — one-deep pipelining,

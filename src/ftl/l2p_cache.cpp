@@ -4,9 +4,32 @@
 
 namespace conzone {
 
+namespace {
+std::uint64_t NextPow2(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
 L2PCache::L2PCache(const L2pCacheConfig& config)
-    : cfg_(config), max_entries_(config.MaxEntries()) {
+    : cfg_(config),
+      max_entries_(config.MaxEntries()),
+      div_lpns_per_chunk_(config.lpns_per_chunk),
+      div_lpns_per_zone_(config.lpns_per_zone) {
   assert(cfg_.lpns_per_zone % cfg_.lpns_per_chunk == 0);
+  if (max_entries_ > 0) {
+    slots_.resize(max_entries_);
+    free_slots_.reserve(max_entries_);
+    // Free list popped from the back: push in reverse so slot 0 is used
+    // first (purely cosmetic; any order works).
+    for (std::uint64_t i = max_entries_; i > 0; --i) {
+      free_slots_.push_back(static_cast<std::uint32_t>(i - 1));
+    }
+    // Load factor <= 0.5 keeps linear-probe chains short.
+    table_.assign(NextPow2(max_entries_ * 2), kNil);
+    table_mask_ = table_.size() - 1;
+  }
 }
 
 std::uint64_t L2PCache::UnitLpns(MapGranularity g) const {
@@ -19,72 +42,185 @@ std::uint64_t L2PCache::UnitLpns(MapGranularity g) const {
 }
 
 L2pKey L2PCache::KeyFor(MapGranularity g, Lpn lpn) const {
-  return L2pKey{g, lpn.value() / UnitLpns(g)};
+  switch (g) {
+    case MapGranularity::kPage: return L2pKey{g, lpn.value()};
+    case MapGranularity::kChunk: return L2pKey{g, div_lpns_per_chunk_.Div(lpn.value())};
+    case MapGranularity::kZone: return L2pKey{g, div_lpns_per_zone_.Div(lpn.value())};
+  }
+  return L2pKey{g, lpn.value()};
+}
+
+std::uint64_t L2PCache::HashKey(std::uint64_t key) {
+  // SplitMix64 finalizer: cheap, and full avalanche so linear probing
+  // sees uniformly spread buckets even for the stride-patterned keys the
+  // granularity encoding produces.
+  key ^= key >> 30;
+  key *= 0xBF58476D1CE4E5B9ull;
+  key ^= key >> 27;
+  key *= 0x94D049BB133111EBull;
+  key ^= key >> 31;
+  return key;
+}
+
+std::size_t L2PCache::FindBucket(std::uint64_t key, bool* found) const {
+  std::size_t b = HashKey(key) & table_mask_;
+  while (true) {
+    const std::uint32_t s = table_[b];
+    if (s == kNil) {
+      *found = false;
+      return b;
+    }
+    if (slots_[s].key == key) {
+      *found = true;
+      return b;
+    }
+    b = (b + 1) & table_mask_;
+  }
+}
+
+void L2PCache::TableErase(std::size_t bucket) {
+  // Backward-shift deletion: close the hole by moving displaced entries
+  // whose home bucket lies outside the vacated gap.
+  std::size_t hole = bucket;
+  table_[hole] = kNil;
+  std::size_t i = hole;
+  while (true) {
+    i = (i + 1) & table_mask_;
+    const std::uint32_t s = table_[i];
+    if (s == kNil) return;
+    const std::size_t home = HashKey(slots_[s].key) & table_mask_;
+    // Move s into the hole unless its home bucket sits in (hole, i]
+    // (cyclically) — in that case the probe chain is intact without it.
+    const bool home_in_gap =
+        (hole < i) ? (home > hole && home <= i) : (home > hole || home <= i);
+    if (!home_in_gap) {
+      table_[hole] = s;
+      table_[i] = kNil;
+      hole = i;
+    }
+  }
+}
+
+void L2PCache::LruUnlink(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  if (s.prev != kNil) {
+    slots_[s.prev].next = s.next;
+  } else {
+    lru_head_ = s.next;
+  }
+  if (s.next != kNil) {
+    slots_[s.next].prev = s.prev;
+  } else {
+    lru_tail_ = s.prev;
+  }
+  s.prev = s.next = kNil;
+}
+
+void L2PCache::LruPushFront(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.prev = kNil;
+  s.next = lru_head_;
+  if (lru_head_ != kNil) slots_[lru_head_].prev = slot;
+  lru_head_ = slot;
+  if (lru_tail_ == kNil) lru_tail_ = slot;
+}
+
+void L2PCache::LruMoveToFront(std::uint32_t slot) {
+  if (lru_head_ == slot) return;
+  LruUnlink(slot);
+  LruPushFront(slot);
 }
 
 std::optional<Ppn> L2PCache::Lookup(const L2pKey& key) {
   ++stats_.lookups;
-  auto it = map_.find(key.Encoded());
-  if (it == map_.end()) return std::nullopt;
+  if (size_ == 0) return std::nullopt;
+  bool found = false;
+  const std::size_t b = FindBucket(key.Encoded(), &found);
+  if (!found) return std::nullopt;
   ++stats_.hits;
-  // Refresh recency.
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->base_ppn;
+  const std::uint32_t slot = table_[b];
+  LruMoveToFront(slot);
+  return slots_[slot].base_ppn;
 }
 
 std::optional<Ppn> L2PCache::Peek(const L2pKey& key) const {
-  auto it = map_.find(key.Encoded());
-  if (it == map_.end()) return std::nullopt;
-  return it->second->base_ppn;
+  if (size_ == 0) return std::nullopt;
+  bool found = false;
+  const std::size_t b = FindBucket(key.Encoded(), &found);
+  if (!found) return std::nullopt;
+  return slots_[table_[b]].base_ppn;
+}
+
+void L2PCache::RemoveSlot(std::uint32_t slot, std::size_t bucket) {
+  LruUnlink(slot);
+  TableErase(bucket);
+  free_slots_.push_back(slot);
+  --size_;
 }
 
 void L2PCache::EvictOne() {
-  for (auto it = lru_.end(); it != lru_.begin();) {
-    --it;
-    if (it->pinned) continue;
-    map_.erase(it->key.Encoded());
-    lru_.erase(it);
+  // Scan from the LRU end, skipping pinned entries (they also live in
+  // the chain but are exempt from eviction).
+  for (std::uint32_t s = lru_tail_; s != kNil; s = slots_[s].prev) {
+    if (slots_[s].pinned) continue;
+    bool found = false;
+    const std::size_t b = FindBucket(slots_[s].key, &found);
+    assert(found);
+    RemoveSlot(s, b);
     ++stats_.evictions;
     return;
   }
 }
 
 void L2PCache::Insert(const L2pKey& key, Ppn base_ppn, bool pinned) {
-  auto it = map_.find(key.Encoded());
-  if (it != map_.end()) {
+  if (max_entries_ == 0) return;
+  bool found = false;
+  std::size_t b = FindBucket(key.Encoded(), &found);
+  if (found) {
     // Refresh in place.
-    if (it->second->pinned && !pinned) --pinned_count_;
-    if (!it->second->pinned && pinned) ++pinned_count_;
-    it->second->base_ppn = base_ppn;
-    it->second->pinned = pinned;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    Slot& s = slots_[table_[b]];
+    if (s.pinned && !pinned) --pinned_count_;
+    if (!s.pinned && pinned) ++pinned_count_;
+    s.base_ppn = base_ppn;
+    s.pinned = pinned;
+    LruMoveToFront(table_[b]);
     return;
   }
-  if (max_entries_ == 0) return;
-  if (map_.size() >= max_entries_) {
+  if (size_ >= max_entries_) {
     if (pinned_count_ >= max_entries_ && !pinned) {
       // Nothing evictable; drop the insertion rather than overflow SRAM.
       ++stats_.rejected_insertions;
       return;
     }
     EvictOne();
-    if (map_.size() >= max_entries_) {
+    if (size_ >= max_entries_) {
       ++stats_.rejected_insertions;
       return;
     }
+    // The eviction may have shifted buckets; re-locate the insert point.
+    b = FindBucket(key.Encoded(), &found);
   }
-  lru_.push_front(Entry{key, base_ppn, pinned});
-  map_.emplace(key.Encoded(), lru_.begin());
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  Slot& s = slots_[slot];
+  s.key = key.Encoded();
+  s.base_ppn = base_ppn;
+  s.pinned = pinned;
+  table_[b] = slot;
+  LruPushFront(slot);
+  ++size_;
   if (pinned) ++pinned_count_;
   ++stats_.insertions;
 }
 
 void L2PCache::Erase(const L2pKey& key) {
-  auto it = map_.find(key.Encoded());
-  if (it == map_.end()) return;
-  if (it->second->pinned) --pinned_count_;
-  lru_.erase(it->second);
-  map_.erase(it);
+  if (size_ == 0) return;
+  bool found = false;
+  const std::size_t b = FindBucket(key.Encoded(), &found);
+  if (!found) return;
+  const std::uint32_t slot = table_[b];
+  if (slots_[slot].pinned) --pinned_count_;
+  RemoveSlot(slot, b);
 }
 
 void L2PCache::EvictCoveredBy(const L2pKey& key) {

@@ -12,13 +12,20 @@
 // *pinned* (the §IV-D PINNED design) are exempt from eviction; when an
 // aggregated entry is generated, the finer-granularity entries it covers
 // are evicted to reclaim capacity.
+//
+// Storage: entries live in a flat slot array sized to the configured
+// capacity; the LRU chain is intrusive (prev/next slot indices inside
+// each entry) and the hash index is an open-addressing table of slot
+// indices (linear probing, backward-shift deletion). Lookups, inserts
+// and evictions touch contiguous memory and never allocate after
+// construction — this sits on the per-IO hot path of every read.
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
+#include "common/fastdiv.hpp"
 #include "common/ids.hpp"
 #include "common/units.hpp"
 #include "ftl/mapping.hpp"
@@ -85,7 +92,7 @@ class L2PCache {
   /// used on zone reset and on remapping (fold-back, GC migration).
   void InvalidateLpnRange(Lpn start, std::uint64_t count);
 
-  std::size_t size() const { return map_.size(); }
+  std::size_t size() const { return size_; }
   std::uint64_t max_entries() const { return max_entries_; }
   std::size_t pinned_count() const { return pinned_count_; }
   const L2pCacheStats& stats() const { return stats_; }
@@ -97,20 +104,44 @@ class L2PCache {
   L2pKey KeyFor(MapGranularity g, Lpn lpn) const;
 
  private:
-  struct Entry {
-    L2pKey key;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Slot {
+    std::uint64_t key = 0;  // encoded L2pKey
     Ppn base_ppn;
+    std::uint32_t prev = kNil;  // intrusive LRU chain (head = most recent)
+    std::uint32_t next = kNil;
     bool pinned = false;
   };
-  using LruList = std::list<Entry>;
+
+  static std::uint64_t HashKey(std::uint64_t key);
+  /// Bucket of `key` in table_, or the first empty bucket of its probe
+  /// sequence. `*found` says which.
+  std::size_t FindBucket(std::uint64_t key, bool* found) const;
+  /// Backward-shift deletion at `bucket` (no tombstones).
+  void TableErase(std::size_t bucket);
+
+  void LruUnlink(std::uint32_t slot);
+  void LruPushFront(std::uint32_t slot);
+  void LruMoveToFront(std::uint32_t slot);
 
   void EvictOne();
+  /// Remove `slot` (already located at `bucket`) from table, LRU and the
+  /// slot free list.
+  void RemoveSlot(std::uint32_t slot, std::size_t bucket);
 
   L2pCacheConfig cfg_;
   std::uint64_t max_entries_;
-  LruList lru_;  // front = most recent; pinned entries also live here but
-                 // are skipped by eviction.
-  std::unordered_map<std::uint64_t, LruList::iterator> map_;
+  // Reciprocals for KeyFor — probed up to three times per read IO.
+  FastDiv div_lpns_per_chunk_;
+  FastDiv div_lpns_per_zone_;
+  std::vector<Slot> slots_;             // flat entry storage
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> table_;    // open addressing: slot index or kNil
+  std::uint64_t table_mask_ = 0;        // table_.size() - 1 (power of two)
+  std::uint32_t lru_head_ = kNil;       // most recently used
+  std::uint32_t lru_tail_ = kNil;       // least recently used
+  std::size_t size_ = 0;
   std::size_t pinned_count_ = 0;
   L2pCacheStats stats_;
 };

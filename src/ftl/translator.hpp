@@ -24,9 +24,10 @@
 // based on the offset of the original logical address").
 #pragma once
 
+#include <array>
+#include <cassert>
 #include <cstdint>
 #include <optional>
-#include <vector>
 
 #include "common/ids.hpp"
 #include "common/status.hpp"
@@ -67,13 +68,34 @@ struct TranslatorConfig {
   std::uint32_t prefetch_window = 0;
 };
 
+/// Fixed-capacity list of the metadata map pages a miss had to read. A
+/// translation fetches at most 3 (MULTIPLE probes zone → chunk → page),
+/// so the storage is inline — `TranslateOutcome` never touches the heap
+/// on the per-IO path.
+class MapFetchList {
+ public:
+  void push_back(std::uint64_t page) {
+    assert(count_ < kMax);
+    pages_[count_++] = page;
+  }
+  const std::uint64_t* begin() const { return pages_.data(); }
+  const std::uint64_t* end() const { return pages_.data() + count_; }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+ private:
+  static constexpr std::size_t kMax = 3;
+  std::array<std::uint64_t, kMax> pages_{};
+  std::uint32_t count_ = 0;
+};
+
 struct TranslateOutcome {
   Ppn ppn;
   bool cache_hit = false;
   MapGranularity gran = MapGranularity::kPage;
   /// Metadata flash pages that had to be read (empty on a cache hit).
   /// The device charges one flash read per element.
-  std::vector<std::uint64_t> map_pages_fetched;
+  MapFetchList map_pages_fetched;
 };
 
 struct TranslatorStats {

@@ -3,23 +3,37 @@
 // Drives the multi-job workload runner: each simulated job is a chain of
 // events ("issue next request at time t"). Events at equal timestamps run
 // in FIFO order of scheduling, which keeps runs deterministic.
+//
+// Hot-path layout: callbacks live in a recycling slot pool of
+// small-buffer-optimized `InlineFunction`s, and the heap orders 24-byte
+// {when, seq, slot} entries in a flat vector. On the steady-state path
+// (schedule/run/schedule...) nothing allocates: slots are recycled
+// through a free list and the heap/pool vectors only grow to the
+// high-water mark of simultaneously pending events.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/time.hpp"
+#include "sim/inline_function.hpp"
 
 namespace conzone {
 
 class EventQueue {
  public:
-  using Callback = std::function<void(SimTime)>;
+  using Callback = InlineFunction<void(SimTime), 48>;
+
+  /// What Schedule does when asked for a time earlier than `now()` —
+  /// which the API forbids (an event cannot run in the simulated past).
+  enum class PastPolicy : std::uint8_t {
+    kClampToNow,  ///< Run the event at now(); count it in clamped_schedules().
+    kAbort,       ///< Treat as a fatal logic error (all build types).
+  };
 
   /// Schedule `cb` to run at simulated time `t`. `t` may not be earlier
-  /// than the current time of the queue.
+  /// than the current time of the queue; violations are resolved by the
+  /// configured PastPolicy (default: clamp to now()).
   void Schedule(SimTime t, Callback cb);
 
   /// Pop and run the earliest event. Returns false if the queue is empty.
@@ -37,22 +51,36 @@ class EventQueue {
   /// Timestamp of the most recently executed event.
   SimTime now() const { return now_; }
 
+  /// Total events executed so far (wall-clock benchmarking: events/s).
+  std::uint64_t executed() const { return executed_; }
+
+  void set_past_policy(PastPolicy p) { past_policy_ = p; }
+  PastPolicy past_policy() const { return past_policy_; }
+  /// Schedules whose timestamp was clamped forward to now().
+  std::uint64_t clamped_schedules() const { return clamped_schedules_; }
+
  private:
-  struct Event {
+  struct HeapEntry {
     SimTime when;
-    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+    std::uint64_t seq;   // tie-break: FIFO among equal timestamps
+    std::uint32_t slot;  // index into the callback pool
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+  void SiftUp(std::size_t i);
+  void SiftDown(std::size_t i);
+
+  std::vector<HeapEntry> heap_;       // binary min-heap over (when, seq)
+  std::vector<Callback> pool_;        // slot storage, recycled via free_slots_
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t clamped_schedules_ = 0;
   SimTime now_;
+  PastPolicy past_policy_ = PastPolicy::kClampToNow;
 };
 
 }  // namespace conzone

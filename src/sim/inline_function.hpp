@@ -1,0 +1,122 @@
+// Small-buffer-optimized, move-only callable — the event queue's
+// callback type.
+//
+// `std::function` pays a heap allocation for any callable larger than
+// its tiny internal buffer and drags in copy semantics the simulator
+// never uses. Every hot-path event in this codebase is a lambda of a
+// couple of pointers, so `InlineFunction` stores callables up to
+// `InlineBytes` directly inside the object (no allocation, no pointer
+// chase) and only falls back to the heap for oversized captures. It is
+// move-only: events are scheduled once, moved into the queue's slot
+// pool, and invoked once.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace conzone {
+
+template <typename Signature, std::size_t InlineBytes = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, InlineFunction> &&
+             std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= InlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::table;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapOps<Fn>::table;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept {
+    if (other.ops_) {
+      other.ops_->relocate(buf_, other.buf_);
+      ops_ = std::exchange(other.ops_, nullptr);
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      if (other.ops_) {
+        other.ops_->relocate(buf_, other.buf_);
+        ops_ = std::exchange(other.ops_, nullptr);
+      }
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    /// Move-construct the stored callable into `dst` and destroy the
+    /// source — the queue relocates events between slots this way.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static R Invoke(void* p, Args&&... args) {
+      return (*std::launder(reinterpret_cast<Fn*>(p)))(std::forward<Args>(args)...);
+    }
+    static void Relocate(void* dst, void* src) {
+      Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+      ::new (dst) Fn(std::move(*s));
+      s->~Fn();
+    }
+    static void Destroy(void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); }
+    static constexpr Ops table{&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn* Get(void* p) { return *std::launder(reinterpret_cast<Fn**>(p)); }
+    static R Invoke(void* p, Args&&... args) {
+      return (*Get(p))(std::forward<Args>(args)...);
+    }
+    static void Relocate(void* dst, void* src) {
+      ::new (dst) Fn*(Get(src));
+    }
+    static void Destroy(void* p) { delete Get(p); }
+    static constexpr Ops table{&Invoke, &Relocate, &Destroy};
+  };
+
+  void Reset() {
+    if (ops_) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace conzone

@@ -6,7 +6,10 @@
 namespace conzone {
 
 Status FioRunner::ValidateSpec(const JobSpec& spec) const {
-  const DeviceInfo di = device_.info();
+  const DeviceInfo& di = info_;
+  if (spec.iodepth == 0) {
+    return Status::InvalidArgument(spec.name + ": iodepth must be >= 1");
+  }
   if (!spec.zone_list.empty()) {
     if (di.zone_size_bytes == 0) {
       return Status::InvalidArgument(spec.name + ": zone_list on a non-zoned device");
@@ -45,14 +48,13 @@ Status FioRunner::ValidateSpec(const JobSpec& spec) const {
 
 std::uint64_t FioRunner::PickOffset(JobState& job, std::uint64_t* len) {
   const JobSpec& s = job.spec;
-  const std::uint64_t zs = device_.info().zone_size_bytes;
+  const std::uint64_t zs = info_.zone_size_bytes;
   *len = s.block_size;
 
   // Virtual position within the job's address space.
   std::uint64_t vpos;
   if (s.pattern == IoPattern::kRandom) {
-    const std::uint64_t slots = job.virtual_size / s.block_size;
-    vpos = job.rng.NextBelow(slots) * s.block_size;
+    vpos = job.rng.NextBelow(job.rand_slots, job.rand_threshold) * s.block_size;
   } else {
     vpos = job.position;
     *len = std::min(*len, job.virtual_size - vpos);
@@ -61,14 +63,14 @@ std::uint64_t FioRunner::PickOffset(JobState& job, std::uint64_t* len) {
   // Map the virtual position to a device offset.
   std::uint64_t off;
   if (!s.zone_list.empty()) {
-    const std::uint64_t span = s.zone_span_bytes ? s.zone_span_bytes : zs;
-    const std::uint64_t zi = vpos / span;
-    const std::uint64_t in_zone = vpos % span;
+    const std::uint64_t zi = job.div_span_.Div(vpos);
+    const std::uint64_t in_zone = vpos - zi * job.div_span_.value();
     off = s.zone_list[static_cast<std::size_t>(zi)] * zs + in_zone;
-    *len = std::min(*len, span - in_zone);  // stay within the written span
+    // Stay within the written span.
+    *len = std::min(*len, job.div_span_.value() - in_zone);
   } else {
     off = s.region_offset + vpos;
-    if (zs != 0) *len = std::min(*len, zs - (off % zs));
+    if (zs != 0) *len = std::min(*len, zs - div_zone_.Mod(off));
   }
 
   if (s.pattern == IoPattern::kSequential) {
@@ -84,20 +86,28 @@ Result<SimTime> FioRunner::IssueOne(JobState& job, SimTime t) {
                         job.position == 0 && job.ios_done > 0);
   if (wrapped && job.spec.direction == IoDirection::kWrite &&
       job.spec.reset_zones_on_wrap) {
-    // Rewriting a zoned region requires resetting its zones first.
-    const std::uint64_t zs = device_.info().zone_size_bytes;
+    // Rewriting a zoned region requires resetting its zones first. The
+    // zone set is iterated in place (no temporary list) — this runs on
+    // the issue path.
+    const std::uint64_t zs = info_.zone_size_bytes;
     if (zs != 0) {
-      std::vector<std::uint64_t> zones = job.spec.zone_list;
-      if (zones.empty()) {
-        const std::uint64_t z0 = job.spec.region_offset / zs;
-        const std::uint64_t z1 =
-            (job.spec.region_offset + job.spec.region_size + zs - 1) / zs;
-        for (std::uint64_t z = z0; z < z1; ++z) zones.push_back(z);
-      }
-      for (std::uint64_t z : zones) {
+      auto reset = [&](std::uint64_t z) -> Status {
         auto r = device_.ResetZone(ZoneId{z}, t);
         if (!r.ok()) return r.status();
         t = r.value();
+        return Status::Ok();
+      };
+      if (!job.spec.zone_list.empty()) {
+        for (std::uint64_t z : job.spec.zone_list) {
+          if (Status st = reset(z); !st.ok()) return st;
+        }
+      } else {
+        const std::uint64_t z0 = job.spec.region_offset / zs;
+        const std::uint64_t z1 =
+            (job.spec.region_offset + job.spec.region_size + zs - 1) / zs;
+        for (std::uint64_t z = z0; z < z1; ++z) {
+          if (Status st = reset(z); !st.ok()) return st;
+        }
       }
     }
   }
@@ -108,6 +118,50 @@ Result<SimTime> FioRunner::IssueOne(JobState& job, SimTime t) {
   return device_.Read(off, len, t);
 }
 
+struct FioRunner::RunCtx {
+  std::vector<JobState>& states;
+  EventQueue& q;
+};
+
+// Self-scheduling issue loops: each job runs `iodepth` independent
+// submission chains. A chain issues the job's next IO and re-arms itself
+// at that IO's completion (+think time); the chains share the job's
+// cursor, RNG and stop state, so outstanding-IO count never exceeds
+// iodepth and the issue order stays deterministic (events run one at a
+// time, FIFO at equal timestamps). iodepth=1 is exactly the synchronous
+// loop.
+void FioRunner::IssueLoop(RunCtx& ctx, std::size_t idx, SimTime t) {
+  JobState& job = ctx.states[idx];
+  if (job.done || !run_error_.ok()) return;
+  if (t >= job.deadline ||
+      (job.spec.io_count != 0 && job.ios_done >= job.spec.io_count)) {
+    job.done = true;
+    return;
+  }
+  const std::uint64_t pos_before = job.position;
+  auto comp = IssueOne(job, t);
+  if (!comp.ok()) {
+    run_error_ = comp.status();
+    job.done = true;
+    return;
+  }
+  // Reconstruct the issued length for accounting.
+  std::uint64_t len = job.spec.block_size;
+  if (job.spec.pattern == IoPattern::kSequential) {
+    len = (job.position == 0 ? job.virtual_size : job.position) - pos_before;
+  }
+  job.ios_done++;
+  job.result.throughput.bytes += len;
+  job.result.throughput.ops += 1;
+  job.result.latency.Record(comp.value() - t);
+  // Chains can complete out of order; keep the latest completion.
+  if (comp.value() > job.result.last_completion) {
+    job.result.last_completion = comp.value();
+  }
+  const SimTime next = comp.value() + job.spec.think_time;
+  ctx.q.Schedule(next, [this, &ctx, idx](SimTime when) { IssueLoop(ctx, idx, when); });
+}
+
 Result<RunResult> FioRunner::Run(const std::vector<JobSpec>& jobs, SimTime start) {
   for (const JobSpec& s : jobs) {
     if (Status st = ValidateSpec(s); !st.ok()) return st;
@@ -116,7 +170,7 @@ Result<RunResult> FioRunner::Run(const std::vector<JobSpec>& jobs, SimTime start
 
   auto states = std::make_unique<std::vector<JobState>>();
   states->reserve(jobs.size());
-  const std::uint64_t zs = device_.info().zone_size_bytes;
+  const std::uint64_t zs = info_.zone_size_bytes;
   for (const JobSpec& s : jobs) {
     JobState js;
     js.spec = s;
@@ -125,6 +179,9 @@ Result<RunResult> FioRunner::Run(const std::vector<JobSpec>& jobs, SimTime start
             ? s.region_size
             : s.zone_list.size() * (s.zone_span_bytes ? s.zone_span_bytes : zs);
     js.rng.Seed(s.seed * 0x9E3779B97F4A7C15ull + 1);
+    js.rand_slots = s.block_size ? js.virtual_size / s.block_size : 0;
+    js.rand_threshold = Rng::RejectionThreshold(js.rand_slots);
+    js.div_span_ = FastDiv(s.zone_span_bytes ? s.zone_span_bytes : zs);
     js.result.name = s.name;
     js.result.first_issue = start;
     if (s.runtime != SimDuration()) js.deadline = start + s.runtime;
@@ -132,43 +189,18 @@ Result<RunResult> FioRunner::Run(const std::vector<JobSpec>& jobs, SimTime start
   }
 
   EventQueue q;
-  // Self-scheduling issue loop per job.
-  std::function<void(std::size_t, SimTime)> issue = [&](std::size_t idx, SimTime t) {
-    JobState& job = (*states)[idx];
-    if (job.done || !run_error_.ok()) return;
-    if (t >= job.deadline ||
-        (job.spec.io_count != 0 && job.ios_done >= job.spec.io_count)) {
-      job.done = true;
-      return;
-    }
-    const std::uint64_t pos_before = job.position;
-    auto comp = IssueOne(job, t);
-    if (!comp.ok()) {
-      run_error_ = comp.status();
-      job.done = true;
-      return;
-    }
-    // Reconstruct the issued length for accounting.
-    std::uint64_t len = job.spec.block_size;
-    if (job.spec.pattern == IoPattern::kSequential) {
-      len = (job.position == 0 ? job.virtual_size : job.position) - pos_before;
-    }
-    job.ios_done++;
-    job.result.throughput.bytes += len;
-    job.result.throughput.ops += 1;
-    job.result.latency.Record(comp.value() - t);
-    job.result.last_completion = comp.value();
-    const SimTime next = comp.value() + job.spec.think_time;
-    q.Schedule(next, [&issue, idx](SimTime when) { issue(idx, when); });
-  };
-
+  RunCtx ctx{*states, q};
   for (std::size_t i = 0; i < states->size(); ++i) {
-    q.Schedule(start, [&issue, i](SimTime when) { issue(i, when); });
+    const std::uint32_t depth = (*states)[i].spec.iodepth;
+    for (std::uint32_t d = 0; d < depth; ++d) {
+      q.Schedule(start, [this, &ctx, i](SimTime when) { IssueLoop(ctx, i, when); });
+    }
   }
   q.RunAll();
-  if (!run_error_.ok()) return run_error_;
+  if (!run_error_.ok()) return std::move(run_error_);
 
   RunResult out;
+  out.events = q.executed();
   SimTime span_start = SimTime::Max();
   SimTime span_end = start;
   for (JobState& js : *states) {

@@ -2,19 +2,22 @@
 //
 // The evaluation drives every device with flexible-I/O-tester style jobs:
 // sequential or random, read or write, fixed block size, one or more
-// simulated threads. Each job behaves like an fio job with iodepth=1 and
-// synchronous completion — the next request issues when the previous one
-// completes — which is how consumer I/O stacks behave (§II-A: frequent
-// synchronous writes). Concurrency comes from running several jobs over
-// the same device: the event queue interleaves their submissions in
-// simulated-time order and the device's internal resource model
-// serializes contended hardware.
+// simulated threads. At the default iodepth=1 a job is synchronous — the
+// next request issues when the previous one completes — which is how
+// consumer I/O stacks behave (§II-A: frequent synchronous writes). With
+// iodepth=N a job keeps up to N requests outstanding: N independent
+// self-pacing submission chains share the job's cursor/RNG/stop state,
+// and the event queue interleaves their submissions in simulated-time
+// order. Concurrency (across chains and across jobs) is resolved by the
+// device's internal resource model, which serializes contended hardware.
+// iodepth=1 reduces exactly to the synchronous behavior.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/fastdiv.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
@@ -56,6 +59,10 @@ struct JobSpec {
   bool reset_zones_on_wrap = false;
   SimDuration think_time;
   std::uint64_t seed = 1;
+  /// Outstanding requests the job keeps in flight (fio's iodepth). 1 =
+  /// fully synchronous; N>1 runs N submission chains that each issue the
+  /// job's next IO as soon as their previous one completes.
+  std::uint32_t iodepth = 1;
 };
 
 struct JobResult {
@@ -74,6 +81,8 @@ struct RunResult {
   SimTime end_time;           ///< Completion of the last job — pass as the
                               ///< `start` of the next phase so a fresh run
                               ///< does not queue behind still-busy media.
+  std::uint64_t events = 0;   ///< Simulator events executed by the run
+                              ///< (wall-clock benchmarking: events/s).
 
   double MiBps() const { return total.MiBps(); }
   double Kiops() const { return total.Kiops(); }
@@ -81,7 +90,8 @@ struct RunResult {
 
 class FioRunner {
  public:
-  explicit FioRunner(StorageDevice& device) : device_(device) {}
+  explicit FioRunner(StorageDevice& device)
+      : device_(device), info_(device.info()), div_zone_(info_.zone_size_bytes) {}
 
   /// Run all jobs concurrently starting at simulated time `start`.
   Result<RunResult> Run(const std::vector<JobSpec>& jobs,
@@ -103,6 +113,11 @@ class FioRunner {
     SimTime deadline = SimTime::Max();
     JobResult result;
     bool done = false;
+    // Per-IO constants hoisted out of PickOffset (random jobs draw one
+    // offset per IO; the divisions would otherwise dominate the draw).
+    std::uint64_t rand_slots = 0;      // virtual_size / block_size
+    std::uint64_t rand_threshold = 0;  // Rng::RejectionThreshold(rand_slots)
+    FastDiv div_span_;                 // zone_list span (zone_span_bytes or zone size)
   };
 
   Status ValidateSpec(const JobSpec& spec) const;
@@ -110,8 +125,17 @@ class FioRunner {
   /// error that aborted the run.
   Result<SimTime> IssueOne(JobState& job, SimTime t);
   std::uint64_t PickOffset(JobState& job, std::uint64_t* len);
+  /// One step of a job's submission chain: issue the next IO and re-arm
+  /// at its completion. Direct member dispatch — the issue loop runs once
+  /// per simulated IO, so no std::function indirection.
+  struct RunCtx;
+  void IssueLoop(RunCtx& ctx, std::size_t idx, SimTime t);
 
   StorageDevice& device_;
+  /// Cached at construction: info() builds a fresh DeviceInfo (including
+  /// a std::string) per call, which is too expensive for the issue path.
+  DeviceInfo info_;
+  FastDiv div_zone_;  ///< info_.zone_size_bytes (hardware div when 0)
   Status run_error_;
 };
 

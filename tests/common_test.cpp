@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/fastdiv.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -107,6 +108,55 @@ TEST(RngTest, NextInRangeInclusive) {
     seen.insert(v);
   }
   EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, PrecomputedThresholdMatchesPlainNextBelow) {
+  Rng a(42), b(42);
+  for (std::uint64_t bound : {1ull, 7ull, 4096ull, (1ull << 40) + 3}) {
+    const std::uint64_t threshold = Rng::RejectionThreshold(bound);
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_EQ(a.NextBelow(bound), b.NextBelow(bound, threshold));
+    }
+  }
+}
+
+// --- FastDiv ---
+
+TEST(FastDivTest, MatchesHardwareDivisionExactly) {
+  const std::uint64_t divisors[] = {
+      1,  2,  3,  4,  5,    7,    12,         42,        4096,
+      96 * 1024,  252,  1000000000ull, 3200ull * 1024 * 1024,
+      (1ull << 32) - 1, (1ull << 32) + 1, (1ull << 63) + 12345};
+  const std::uint64_t dividends[] = {
+      0, 1, 2, 3, 41, 42, 43, 4095, 4096, 4097, (1ull << 32) - 1, 1ull << 32,
+      (1ull << 32) + 1, 123456789012345ull, ~0ull - 1, ~0ull};
+  for (std::uint64_t d : divisors) {
+    const FastDiv fd(d);
+    EXPECT_EQ(fd.value(), d);
+    for (std::uint64_t x : dividends) {
+      EXPECT_EQ(fd.Div(x), x / d) << x << " / " << d;
+      EXPECT_EQ(fd.Mod(x), x % d) << x << " % " << d;
+    }
+  }
+}
+
+TEST(FastDivTest, ExhaustiveAroundMultiples) {
+  // Exactness is most fragile just below/above exact multiples of the
+  // divisor, where the reciprocal's rounding error could flip the floor.
+  for (std::uint64_t d : {3ull, 4096ull, 98304ull, 3355443200ull, (1ull << 33) + 7}) {
+    const FastDiv fd(d);
+    for (std::uint64_t k : {0ull, 1ull, 2ull, 1000ull, (1ull << 20) + 1}) {
+      const std::uint64_t base = k * d;
+      for (std::uint64_t delta = 0; delta < 3; ++delta) {
+        if (base + delta >= base) {  // skip overflow
+          EXPECT_EQ(fd.Div(base + delta), (base + delta) / d);
+        }
+        if (base >= delta + 1) {
+          EXPECT_EQ(fd.Div(base - delta - 1), (base - delta - 1) / d);
+        }
+      }
+    }
+  }
 }
 
 TEST(RngTest, DoubleInUnitInterval) {

@@ -161,6 +161,112 @@ TEST(L2PCacheTest, KeyForComputesUnitIndex) {
   EXPECT_EQ(c.KeyFor(MapGranularity::kZone, Lpn{4097}).index, 1u);
 }
 
+// --- l2p cache: eviction order & capacity (pins the intrusive-LRU
+// rewrite against the seed list+map semantics) ---
+
+TEST(L2PCacheTest, EvictionFollowsExactLruOrder) {
+  L2PCache c(SmallCacheCfg(4));
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    c.Insert({MapGranularity::kPage, i}, Ppn{i});
+  }
+  // Recency now (most..least): 3 2 1 0. Touch 0 and 2: 2 0 3 1.
+  EXPECT_TRUE(c.Lookup({MapGranularity::kPage, 0}).has_value());
+  EXPECT_TRUE(c.Lookup({MapGranularity::kPage, 2}).has_value());
+  // Each insert at capacity evicts exactly the current LRU entry.
+  c.Insert({MapGranularity::kPage, 10}, Ppn{10});  // evicts 1
+  EXPECT_FALSE(c.Peek({MapGranularity::kPage, 1}).has_value());
+  c.Insert({MapGranularity::kPage, 11}, Ppn{11});  // evicts 3
+  EXPECT_FALSE(c.Peek({MapGranularity::kPage, 3}).has_value());
+  c.Insert({MapGranularity::kPage, 12}, Ppn{12});  // evicts 0
+  EXPECT_FALSE(c.Peek({MapGranularity::kPage, 0}).has_value());
+  EXPECT_TRUE(c.Peek({MapGranularity::kPage, 2}).has_value());
+  EXPECT_EQ(c.stats().evictions, 3u);
+  EXPECT_EQ(c.size(), 4u);
+}
+
+TEST(L2PCacheTest, RefreshInPlaceUpdatesValueAndRecency) {
+  L2PCache c(SmallCacheCfg(2));
+  c.Insert({MapGranularity::kPage, 1}, Ppn{10});
+  c.Insert({MapGranularity::kPage, 2}, Ppn{20});
+  c.Insert({MapGranularity::kPage, 1}, Ppn{11});  // refresh: new ppn, MRU
+  EXPECT_EQ(c.Peek({MapGranularity::kPage, 1}).value(), Ppn{11});
+  EXPECT_EQ(c.stats().insertions, 2u);  // refresh is not a new insertion
+  c.Insert({MapGranularity::kPage, 3}, Ppn{30});  // evicts 2, not 1
+  EXPECT_TRUE(c.Peek({MapGranularity::kPage, 1}).has_value());
+  EXPECT_FALSE(c.Peek({MapGranularity::kPage, 2}).has_value());
+}
+
+TEST(L2PCacheTest, RefreshCanFlipPinnedState) {
+  L2PCache c(SmallCacheCfg(2));
+  c.Insert({MapGranularity::kZone, 0}, Ppn{1}, /*pinned=*/true);
+  EXPECT_EQ(c.pinned_count(), 1u);
+  c.Insert({MapGranularity::kZone, 0}, Ppn{1}, /*pinned=*/false);
+  EXPECT_EQ(c.pinned_count(), 0u);
+  c.Insert({MapGranularity::kZone, 0}, Ppn{1}, /*pinned=*/true);
+  EXPECT_EQ(c.pinned_count(), 1u);
+}
+
+TEST(L2PCacheTest, CapacityNeverExceededUnderChurn) {
+  L2PCache c(SmallCacheCfg(8));
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    c.Insert({MapGranularity::kPage, i * 37}, Ppn{i});
+    ASSERT_LE(c.size(), 8u);
+  }
+  EXPECT_EQ(c.size(), 8u);
+  EXPECT_EQ(c.stats().insertions, 1000u);
+  EXPECT_EQ(c.stats().evictions, 992u);
+  // The survivors are exactly the 8 most recently inserted keys.
+  for (std::uint64_t i = 992; i < 1000; ++i) {
+    EXPECT_TRUE(c.Peek({MapGranularity::kPage, i * 37}).has_value());
+  }
+}
+
+TEST(L2PCacheTest, EraseThenReinsertReusesCapacity) {
+  L2PCache c(SmallCacheCfg(4));
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    c.Insert({MapGranularity::kPage, i}, Ppn{i});
+  }
+  c.Erase({MapGranularity::kPage, 2});
+  EXPECT_EQ(c.size(), 3u);
+  c.Insert({MapGranularity::kPage, 99}, Ppn{99});
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.stats().evictions, 0u);  // freed capacity, no eviction needed
+  EXPECT_TRUE(c.Peek({MapGranularity::kPage, 99}).has_value());
+}
+
+TEST(L2PCacheTest, ZeroCapacityCacheAcceptsNothing) {
+  L2PCache c(SmallCacheCfg(0));
+  c.Insert({MapGranularity::kPage, 1}, Ppn{1});
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_FALSE(c.Lookup({MapGranularity::kPage, 1}).has_value());
+  EXPECT_EQ(c.stats().lookups, 1u);
+  EXPECT_EQ(c.stats().hits, 0u);
+}
+
+TEST(L2PCacheTest, HeavyChurnKeepsHashIndexConsistent) {
+  // Backward-shift deletion stress: interleaved insert/erase with keys
+  // that collide across granularities; every surviving entry must stay
+  // findable with its exact value.
+  L2PCache c(SmallCacheCfg(32));
+  for (std::uint64_t round = 0; round < 50; ++round) {
+    for (std::uint64_t i = 0; i < 32; ++i) {
+      c.Insert({MapGranularity::kPage, round * 32 + i}, Ppn{round * 32 + i});
+    }
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      c.Erase({MapGranularity::kPage, round * 32 + i * 2});
+    }
+    for (std::uint64_t i = 0; i < 32; ++i) {
+      const std::uint64_t k = round * 32 + i;
+      auto hit = c.Peek({MapGranularity::kPage, k});
+      if (i % 2 == 0 && hit.has_value()) FAIL() << "erased key resurfaced: " << k;
+      if (i % 2 == 1) {
+        ASSERT_TRUE(hit.has_value()) << "lost key " << k;
+        EXPECT_EQ(hit.value(), Ppn{k});
+      }
+    }
+  }
+}
+
 // --- translator ---
 
 /// Resolver over a flat imaginary layout: aggregated unit i maps lpn to

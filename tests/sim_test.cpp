@@ -2,6 +2,8 @@
 // timelines and the event queue.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -90,6 +92,75 @@ TEST(EventQueueTest, RunUntilStopsAtDeadline) {
 TEST(EventQueueTest, RunNextOnEmptyReturnsFalse) {
   EventQueue q;
   EXPECT_FALSE(q.RunNext());
+}
+
+TEST(EventQueueTest, SchedulingIntoThePastClampsToNow) {
+  // The documented precondition (`t` not earlier than now()) is enforced
+  // by an explicit policy; the default clamps the event forward to now()
+  // and counts the violation.
+  EventQueue q;
+  ASSERT_EQ(q.past_policy(), EventQueue::PastPolicy::kClampToNow);
+  std::vector<int> order;
+  q.Schedule(SimTime::FromNanos(100), [&](SimTime) {
+    order.push_back(1);
+    // now() == 100; asking for t=40 must not run in the simulated past.
+    q.Schedule(SimTime::FromNanos(40), [&](SimTime t) {
+      order.push_back(2);
+      EXPECT_EQ(t.ns(), 100u);  // clamped to now()
+    });
+  });
+  q.Schedule(SimTime::FromNanos(100), [&](SimTime) { order.push_back(3); });
+  q.RunAll();
+  // The clamped event lands at now()=100 and runs FIFO *after* the event
+  // already queued at 100.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(q.clamped_schedules(), 1u);
+  EXPECT_EQ(q.now().ns(), 100u);
+}
+
+TEST(EventQueueTest, ClampingNeverRewindsNow) {
+  EventQueue q;
+  q.Schedule(SimTime::FromNanos(50), [&](SimTime) {
+    q.Schedule(SimTime::FromNanos(10), [](SimTime) {});
+  });
+  q.RunAll();
+  EXPECT_EQ(q.now().ns(), 50u);  // monotone despite the past request
+  EXPECT_EQ(q.clamped_schedules(), 1u);
+}
+
+TEST(EventQueueTest, CountsExecutedEvents) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) {
+    q.Schedule(SimTime::FromNanos(static_cast<std::uint64_t>(i)), [](SimTime) {});
+  }
+  q.RunAll();
+  EXPECT_EQ(q.executed(), 7u);
+}
+
+TEST(EventQueueTest, SteadyStateChainRecyclesSlots) {
+  // A long self-scheduling chain keeps exactly one event pending; the
+  // slot pool must not grow with chain length (recycling, not leaking).
+  EventQueue q;
+  int count = 0;
+  std::function<void(SimTime)> chain = [&](SimTime t) {
+    if (++count < 10000) q.Schedule(t + SimDuration::Nanos(1), chain);
+  };
+  q.Schedule(SimTime::Zero(), chain);
+  q.RunAll();
+  EXPECT_EQ(count, 10000);
+  EXPECT_EQ(q.executed(), 10000u);
+}
+
+TEST(EventQueueTest, OversizedCapturesStillRun) {
+  // Callables beyond the inline buffer take the heap fallback but behave
+  // identically.
+  EventQueue q;
+  std::array<std::uint64_t, 16> big{};
+  big[15] = 42;
+  std::uint64_t got = 0;
+  q.Schedule(SimTime::FromNanos(5), [big, &got](SimTime) { got = big[15]; });
+  q.RunAll();
+  EXPECT_EQ(got, 42u);
 }
 
 }  // namespace

@@ -192,6 +192,88 @@ TEST_F(FioRunnerTest, PreconditionFillsAndFlushes) {
   EXPECT_EQ(dev_->stats().buffer_ram_reads, 0u);
 }
 
+// --- determinism & pipelining regressions ---
+
+// Mixed random-read + sequential-write workload used by the determinism
+// and iodepth tests below.
+std::vector<JobSpec> MixedJobs(std::uint32_t iodepth) {
+  JobSpec rd;
+  rd.name = "randread";
+  rd.pattern = IoPattern::kRandom;
+  rd.direction = IoDirection::kRead;
+  rd.block_size = 4096;
+  rd.region_offset = 0;
+  rd.region_size = 8 * kMiB;
+  rd.io_count = 400;
+  rd.seed = 7;
+  rd.iodepth = iodepth;
+
+  JobSpec wr;
+  wr.name = "seqwrite";
+  wr.pattern = IoPattern::kSequential;
+  wr.direction = IoDirection::kWrite;
+  wr.block_size = 4096;
+  wr.region_offset = 8 * kMiB;
+  wr.region_size = 8 * kMiB;
+  wr.io_count = 300;
+  wr.seed = 11;
+  wr.iodepth = iodepth;
+  return {rd, wr};
+}
+
+// Run MixedJobs at `iodepth` on a fresh device and return the result.
+RunResult RunMixedOnFreshDevice(std::uint32_t iodepth) {
+  auto dev = ConZoneDevice::Create(SmallCfg());
+  EXPECT_TRUE(dev.ok());
+  SimTime t;
+  EXPECT_TRUE(
+      FioRunner::Precondition(*dev.value(), 0, 8 * kMiB, 512 * kKiB, &t).ok());
+  FioRunner fio(*dev.value());
+  auto r = fio.Run(MixedJobs(iodepth), t);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+void ExpectBitIdentical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.end_time.ns(), b.end_time.ns());
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.total.bytes, b.total.bytes);
+  EXPECT_EQ(a.total.ops, b.total.ops);
+  EXPECT_EQ(a.total.elapsed.ns(), b.total.elapsed.ns());
+  EXPECT_EQ(a.latency.count(), b.latency.count());
+  EXPECT_EQ(a.latency.mean().ns(), b.latency.mean().ns());
+  EXPECT_EQ(a.latency.min().ns(), b.latency.min().ns());
+  EXPECT_EQ(a.latency.max().ns(), b.latency.max().ns());
+  EXPECT_EQ(a.latency.Percentile(0.5).ns(), b.latency.Percentile(0.5).ns());
+  EXPECT_EQ(a.latency.Percentile(0.99).ns(), b.latency.Percentile(0.99).ns());
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].throughput.bytes, b.jobs[i].throughput.bytes);
+    EXPECT_EQ(a.jobs[i].throughput.ops, b.jobs[i].throughput.ops);
+    EXPECT_EQ(a.jobs[i].first_issue.ns(), b.jobs[i].first_issue.ns());
+    EXPECT_EQ(a.jobs[i].last_completion.ns(), b.jobs[i].last_completion.ns());
+  }
+}
+
+TEST(FioDeterminismTest, IdenticalRunsAreBitIdentical) {
+  ExpectBitIdentical(RunMixedOnFreshDevice(1), RunMixedOnFreshDevice(1));
+}
+
+TEST(FioDeterminismTest, IdenticalPipelinedRunsAreBitIdentical) {
+  ExpectBitIdentical(RunMixedOnFreshDevice(4), RunMixedOnFreshDevice(4));
+}
+
+TEST(FioDeterminismTest, IodepthMonotonicallyImprovesSimulatedIops) {
+  double prev = 0.0;
+  for (std::uint32_t depth : {1u, 2u, 4u, 8u}) {
+    const RunResult r = RunMixedOnFreshDevice(depth);
+    // More outstanding requests can only expose more device parallelism;
+    // simulated throughput must never regress as iodepth grows.
+    EXPECT_GE(r.Kiops(), prev) << "iodepth " << depth;
+    prev = r.Kiops();
+  }
+}
+
 TEST_F(FioRunnerTest, ThinkTimeSpacesRequests) {
   FioRunner fio(*dev_);
   JobSpec w;
