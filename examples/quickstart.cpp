@@ -87,5 +87,6 @@ int main() {
               d.L2pMissRate() * 100.0, d.translator().stats().FetchesPerMiss(),
               d.l2p_cache().size(),
               static_cast<unsigned long long>(d.l2p_cache().max_entries()));
+  std::printf("reliability     : %s\n", d.reliability().Summary().c_str());
   return 0;
 }

@@ -86,4 +86,24 @@ std::string LatencyHistogram::Summary() const {
   return buf;
 }
 
+std::string ReliabilityStats::Summary() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "pfail=slc:%llu,normal:%llu efail=slc:%llu,normal:%llu "
+      "retried_reads=%llu retry_steps=%llu rewrites=%llu "
+      "retired=slc:%llu,normal:%llu ro_trips=%llu recovery=%.1fus",
+      static_cast<unsigned long long>(program_failures_slc),
+      static_cast<unsigned long long>(program_failures_normal),
+      static_cast<unsigned long long>(erase_failures_slc),
+      static_cast<unsigned long long>(erase_failures_normal),
+      static_cast<unsigned long long>(reads_with_retry),
+      static_cast<unsigned long long>(read_retries),
+      static_cast<unsigned long long>(rewrite_slots),
+      static_cast<unsigned long long>(retired_blocks_slc),
+      static_cast<unsigned long long>(retired_blocks_normal),
+      static_cast<unsigned long long>(read_only_trips), recovery_time.us());
+  return buf;
+}
+
 }  // namespace conzone

@@ -54,6 +54,44 @@ class LatencyHistogram {
   SimDuration max_;
 };
 
+/// Reliability accounting across the fault-injection and recovery paths.
+/// Owned by the media layer (FlashArray) and shared — by reference — with
+/// the allocators, the timing engine and the device, so every layer's
+/// recovery work lands in one reconcilable snapshot.
+struct ReliabilityStats {
+  // Faults observed at the media layer, by kind and region.
+  std::uint64_t program_failures_slc = 0;
+  std::uint64_t program_failures_normal = 0;
+  std::uint64_t erase_failures_slc = 0;
+  std::uint64_t erase_failures_normal = 0;
+
+  // Read-retry activity (per ReadSlot draw; the timing engine charges the
+  // per-page maximum).
+  std::uint64_t reads_with_retry = 0;
+  std::uint64_t read_retries = 0;  ///< Sum of retry levels.
+
+  // Recovery work.
+  std::uint64_t rewrite_slots = 0;  ///< Slots re-driven after a failed program.
+  std::uint64_t retired_blocks_slc = 0;
+  std::uint64_t retired_blocks_normal = 0;
+  std::uint64_t read_only_trips = 0;  ///< Times the device latched read-only.
+
+  /// Nominal simulated time spent on recovery work: burned program
+  /// pulses, failed erases, and extra read-retry senses.
+  SimDuration recovery_time;
+
+  std::uint64_t TotalFaults() const {
+    return program_failures_slc + program_failures_normal + erase_failures_slc +
+           erase_failures_normal + reads_with_retry;
+  }
+  std::uint64_t RetiredBlocks() const {
+    return retired_blocks_slc + retired_blocks_normal;
+  }
+
+  /// One-line "faults=... retries=... retired=slc:x,normal:y ..." summary.
+  std::string Summary() const;
+};
+
 /// Throughput over a measured interval.
 struct Throughput {
   std::uint64_t bytes = 0;

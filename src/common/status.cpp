@@ -1,6 +1,17 @@
 #include "common/status.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace conzone {
+
+namespace internal {
+void FailFast(const char* what) {
+  std::fprintf(stderr, "conzone: fatal: %s\n", what);
+  std::fflush(stderr);
+  std::abort();
+}
+}  // namespace internal
 
 std::string_view StatusCodeName(StatusCode code) {
   switch (code) {
@@ -11,6 +22,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kMediaError: return "MEDIA_ERROR";
   }
   return "UNKNOWN";
 }

@@ -22,9 +22,17 @@ enum class StatusCode {
   kResourceExhausted, ///< No free blocks / buffers / open-zone slots.
   kUnimplemented,
   kInternal,          ///< Emulator invariant violation (a bug).
+  kMediaError,        ///< NAND fault: program/erase failure on the media.
 };
 
 std::string_view StatusCodeName(StatusCode code);
+
+namespace internal {
+/// Abort with a message. Status/Result misuse (reading the value of an
+/// error result) is a logic bug that must fail loudly in Release builds
+/// too — an `assert` compiles out and silently reads an empty optional.
+[[noreturn]] void FailFast(const char* what);
+}  // namespace internal
 
 // OK is represented as a null rep so the success path — every per-IO
 // return — costs one pointer move and no string traffic; only the error
@@ -65,6 +73,9 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status MediaError(std::string msg) {
+    return Status(StatusCode::kMediaError, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -87,28 +98,40 @@ class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design.
   Result(Status status) : status_(std::move(status)) {
-    assert(!status_.ok() && "Result from OK status must carry a value");
+    if (status_.ok()) {
+      internal::FailFast("Result constructed from OK status without a value");
+    }
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    CheckOk();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CheckOk();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CheckOk();
     return std::move(*value_);
   }
   const T& operator*() const& { return value(); }
   const T* operator->() const { return &value(); }
 
+  /// The value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+  T value_or(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
+  }
+
  private:
+  void CheckOk() const {
+    if (!ok()) internal::FailFast("Result::value() called on an error result");
+  }
+
   Status status_;
   std::optional<T> value_;
 };

@@ -18,6 +18,7 @@ Status ConZoneConfig::Validate() const {
   if (Status st = buffers.Validate(); !st.ok()) return st;
   if (Status st = gc.Validate(); !st.ok()) return st;
   if (Status st = l2p_log.Validate(); !st.ok()) return st;
+  if (Status st = fault.Validate(); !st.ok()) return st;
   if (buffers.slot_bytes != geometry.slot_size) {
     return Status::InvalidArgument("config: buffer slot size != geometry slot size");
   }

@@ -6,6 +6,7 @@
 #include "buffer/write_buffer.hpp"
 #include "common/status.hpp"
 #include "common/time.hpp"
+#include "fault/fault_model.hpp"
 #include "flash/geometry.hpp"
 #include "flash/timing.hpp"
 #include "ftl/l2p_cache.hpp"
@@ -64,6 +65,12 @@ struct ConZoneConfig {
 
   // --- Erase path ---
   GcConfig gc;
+
+  // --- Reliability ---
+  /// NAND fault injection (all-zero default = no faults, zero hot-path
+  /// cost). See FaultConfig for rates, determinism and the read-only
+  /// spare floor.
+  FaultConfig fault;
 
   // --- Host interface ---
   /// Host-link (UFS) bandwidth for request payload transfer.

@@ -30,6 +30,7 @@ ConZoneDevice::ConZoneDevice(const ConZoneConfig& config)
       }()),
       layout_(cfg_.geometry, cfg_.zone_size_bytes, cfg_.superblocks_per_zone,
               cfg_.EffectiveConventionalSuperblocks()),
+      fault_(cfg_.fault),
       array_(cfg_.geometry),
       engine_(cfg_.geometry, cfg_.timing),
       pool_(cfg_.geometry, cfg_.EffectiveConventionalSuperblocks()),
@@ -61,6 +62,10 @@ ConZoneDevice::ConZoneDevice(const ConZoneConfig& config)
                          : 0) {
   runtime_.resize(cfg_.num_conventional_zones + layout_.num_zones());
   buffer_ready_.resize(cfg_.buffers.num_buffers, SimTime::Zero());
+  if (fault_.enabled()) {
+    array_.AttachFaultModel(&fault_);
+    engine_.AttachReliability(&array_.mutable_reliability());
+  }
   gc_.set_remap_hook(
       [this](Lpn lpn, Ppn old_ppn, Ppn new_ppn) { OnGcRemap(lpn, old_ppn, new_ppn); });
   if (cfg_.num_conventional_zones > 0) {
@@ -133,6 +138,12 @@ Result<SimTime> ConZoneDevice::Write(std::uint64_t offset, std::uint64_t len, Si
   if (!tokens.empty() && tokens.size() != nslots) {
     return Status::InvalidArgument("token count != written 4 KiB pages");
   }
+  if (fault_.enabled() && InReadOnly()) {
+    // Graceful degradation: writes are refused with a distinct sub-reason,
+    // reads (and resets) keep working on the surviving media.
+    return Status::ResourceExhausted(
+        "device is read-only: healthy SLC spare below floor after media faults");
+  }
   if (IsConventional(zone)) {
     return WriteConventional(zone, offset, len, now, tokens);
   }
@@ -194,6 +205,16 @@ Result<SimTime> ConZoneDevice::Write(std::uint64_t offset, std::uint64_t len, Si
   return t;
 }
 
+bool ConZoneDevice::InReadOnly() {
+  if (read_only_) return true;
+  if (array_.HealthySlcBlocks() < cfg_.fault.read_only_spare_floor_blocks) {
+    read_only_ = true;
+    array_.mutable_reliability().read_only_trips++;
+    return true;
+  }
+  return false;
+}
+
 Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushAny(BufferedExtent extent,
                                                            SimTime now) {
   if (extent.empty()) return FlushResult{now, now};
@@ -206,8 +227,13 @@ Result<SimTime> ConZoneDevice::ReadBackStaged(ZoneId zone, std::uint64_t begin,
                                               std::vector<SlotWrite>& out, SimTime now) {
   const FlashGeometry& geo = cfg_.geometry;
   const Lpn zbase = ZoneBaseLpn(zone);
-  // One sense+transfer per distinct flash page holding staged slots.
-  std::unordered_map<std::uint64_t, std::uint32_t> pages;  // page id -> live slots
+  // One sense+transfer per distinct flash page holding staged slots; the
+  // page's sense repeats at the worst retry level among its slots.
+  struct PageLoad {
+    std::uint32_t count = 0;
+    std::uint32_t retries = 0;
+  };
+  std::unordered_map<std::uint64_t, PageLoad> pages;
   SimTime done = now;
   for (std::uint64_t off = begin; off < end; off += geo.slot_size) {
     const Lpn lpn = Lpn(zbase.value() + off / geo.slot_size);
@@ -222,15 +248,17 @@ Result<SimTime> ConZoneDevice::ReadBackStaged(ZoneId zone, std::uint64_t begin,
                               std::to_string(lpn.value()));
     }
     out.push_back(SlotWrite{lpn, r.token});
-    pages[geo.PageOfSlot(e.ppn).value()]++;
+    PageLoad& load = pages[geo.PageOfSlot(e.ppn).value()];
+    load.count++;
+    if (r.retry_level > load.retries) load.retries = r.retry_level;
     if (Status st = array_.InvalidateSlot(e.ppn); !st.ok()) return st;
     ++stats_.fold_slots_read;
   }
-  for (const auto& [page, count] : pages) {
+  for (const auto& [page, load] : pages) {
     const ChipId chip = geo.ChipOfBlock(geo.BlockOfPage(FlashPageId(page)));
     array_.CountPageRead();
     done = Later(done, engine_.ReadPage(chip, CellType::kSlc,
-                                        count * geo.slot_size, now));
+                                        load.count * geo.slot_size, now, load.retries));
   }
   return done;
 }
@@ -250,6 +278,10 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::StageSlots(
                                 extent.slots.end());
   auto ppns = slc_alloc_.Program(writes);
   if (!ppns.ok()) return ppns.status();
+  if (!slc_alloc_.last_failed().empty()) {
+    ChargeSlcRewrites(engine_, geo, slc_alloc_.last_failed(), now,
+                      &array_.mutable_reliability());
+  }
   const auto prog = ProgramSlcSlots(engine_, geo, ppns.value(), now);
   FlushResult done{prog.data_in, prog.end};
   for (std::size_t k = 0; k < writes.size(); ++k) {
@@ -259,6 +291,37 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::StageSlots(
   l2p_log_.Append(writes.size());
   zr.staged_end = ext_end;
   return done;
+}
+
+Result<ConZoneDevice::FlushResult> ConZoneDevice::RedriveUnitToSlc(
+    ZoneRuntime& zr, std::span<const SlotWrite> data, SimTime now) {
+  const FlashGeometry& geo = cfg_.geometry;
+  // Re-driven units consume SLC capacity the watermark did not anticipate
+  // (the end-of-flush GC check has not run yet), so reclaim here before
+  // the allocator runs dry mid-extent.
+  if (gc_.NeedsGc()) {
+    auto gc_done = gc_.Run(now);
+    if (!gc_done.ok()) return gc_done.status();
+    now = Later(now, gc_done.value());
+  }
+  std::vector<SlotWrite> writes(data.begin(), data.end());
+  auto ppns = slc_alloc_.Program(writes);
+  if (!ppns.ok()) return ppns.status();
+  if (!slc_alloc_.last_failed().empty()) {
+    ChargeSlcRewrites(engine_, geo, slc_alloc_.last_failed(), now,
+                      &array_.mutable_reliability());
+  }
+  const auto prog = ProgramSlcSlots(engine_, geo, ppns.value(), now);
+  for (std::size_t k = 0; k < writes.size(); ++k) {
+    table_.Set(writes[k].lpn, ppns.value()[k]);
+    cache_.Erase(L2pKey{MapGranularity::kPage, writes[k].lpn.value()});
+  }
+  l2p_log_.Append(writes.size());
+  // Part of the zone's nominally-normal range now lives in SLC: freeze
+  // aggregation from here on (already-stamped chunks predate the failure
+  // and are fully layout-resident, so they stay correct).
+  zr.degraded = true;
+  return FlushResult{prog.data_in, prog.end};
 }
 
 Result<ConZoneDevice::FlushResult> ConZoneDevice::ProgramPatchRun(
@@ -292,6 +355,10 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::ProgramPatchRun(
 
   auto ppns = slc_alloc_.Program(data);
   if (!ppns.ok()) return ppns.status();
+  if (!slc_alloc_.last_failed().empty()) {
+    ChargeSlcRewrites(engine_, geo, slc_alloc_.last_failed(), reads_done,
+                      &array_.mutable_reliability());
+  }
   const auto prog = ProgramSlcSlots(engine_, geo, ppns.value(), reads_done);
   FlushResult done{prog.data_in, prog.end};
   bool contiguous = true;
@@ -357,17 +424,48 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushExtent(BufferedExtent ext
     }
 
     const ZoneLayout::UnitLoc loc = layout_.UnitAt(SeqZone(zone), cur / unit);
-    if (Status st = array_.ProgramSlots(loc.block, data); !st.ok()) return st;
-    const auto prog = engine_.ProgramFold(loc.chip, geo.normal_cell, unit,
-                                          unit - staged_bytes, now, reads_done);
-    done.sram_free = Later(done.sram_free, prog.data_in);
-    done.media_done = Later(done.media_done, prog.end);
-    for (std::size_t k = 0; k < data.size(); ++k) {
-      const Ppn ppn = layout_.NormalSlot(SeqZone(zone), cur + k * geo.slot_size);
-      table_.Set(data[k].lpn, ppn);
-      cache_.Erase(L2pKey{MapGranularity::kPage, data[k].lpn.value()});
+    bool redrive = false;
+    if (array_.IsRetired(loc.block)) {
+      // The reserved block grew bad earlier (previous program or a failed
+      // reset erase): nothing can program there, go straight to SLC.
+      redrive = true;
+    } else {
+      Status st = array_.ProgramSlots(loc.block, data);
+      if (st.ok()) {
+        const auto prog = engine_.ProgramFold(loc.chip, geo.normal_cell, unit,
+                                              unit - staged_bytes, now, reads_done);
+        done.sram_free = Later(done.sram_free, prog.data_in);
+        done.media_done = Later(done.media_done, prog.end);
+        for (std::size_t k = 0; k < data.size(); ++k) {
+          const Ppn ppn = layout_.NormalSlot(SeqZone(zone), cur + k * geo.slot_size);
+          table_.Set(data[k].lpn, ppn);
+          cache_.Erase(L2pKey{MapGranularity::kPage, data[k].lpn.value()});
+        }
+        l2p_log_.Append(data.size());
+      } else if (st.code() == StatusCode::kMediaError) {
+        // The die still ran (and burned) the one-shot pulse; the layout is
+        // fixed, so the unit cannot relocate within the zone's reserved
+        // blocks — re-drive it into SLC under page mapping.
+        const auto burned = engine_.ProgramFold(loc.chip, geo.normal_cell, unit,
+                                                unit - staged_bytes, now, reads_done);
+        done.sram_free = Later(done.sram_free, burned.data_in);
+        ReliabilityStats& rel = array_.mutable_reliability();
+        rel.recovery_time += engine_.timing().For(geo.normal_cell).program_latency;
+        rel.rewrite_slots += data.size();
+        redrive = true;
+      } else {
+        return st;
+      }
     }
-    l2p_log_.Append(data.size());
+    if (redrive) {
+      auto rd = RedriveUnitToSlc(zr, data, reads_done);
+      if (!rd.ok()) return rd.status();
+      done.sram_free = Later(done.sram_free, rd.value().sram_free);
+      done.media_done = Later(done.media_done, rd.value().media_done);
+      staged_anything = true;
+    }
+    // The zone-relative range is durable either way; degraded zones simply
+    // keep part of it in SLC, invisible to the fold/stage logic.
     cur += unit;
     zr.durable_normal_end = cur;
     zr.staged_end = std::max(zr.staged_end, cur);
@@ -432,6 +530,10 @@ SimTime ConZoneDevice::MaybeFlushL2pLog(SimTime now) {
 // ---------------------------------------------------------------------------
 
 void ConZoneDevice::UpdateAggregation(ZoneId zone, ZoneRuntime& zr) {
+  // Degraded zones keep part of their "normal" range in SLC under page
+  // mapping — aggregated entries would resolve those LPNs to the layout
+  // and read stale media. Stamp nothing further.
+  if (zr.degraded) return;
   const std::uint64_t chunk_bytes =
       static_cast<std::uint64_t>(cfg_.lpns_per_chunk) * cfg_.geometry.slot_size;
   const Lpn zbase = ZoneBaseLpn(zone);
@@ -567,15 +669,16 @@ Result<SimTime> ConZoneDevice::Read(std::uint64_t offset, std::uint64_t len, Sim
   // interleaved (SLC staging stripes consecutive LPNs across chips).
   std::vector<PageGroup>& groups = read_groups_;
   groups.clear();
-  auto add_to_group = [&](FlashPageId page, SimTime dep) {
+  auto add_to_group = [&](FlashPageId page, SimTime dep, std::uint32_t retries) {
     for (PageGroup& g : groups) {
       if (g.page == page) {
         ++g.slots;
         g.dep = Later(g.dep, dep);
+        if (retries > g.retries) g.retries = retries;
         return;
       }
     }
-    groups.push_back(PageGroup{page, 1, dep});
+    groups.push_back(PageGroup{page, 1, dep, retries});
   };
 
   for (std::uint64_t off = offset; off < offset + len; off += slot) {
@@ -604,7 +707,8 @@ Result<SimTime> ConZoneDevice::Read(std::uint64_t offset, std::uint64_t len, Sim
                                 std::to_string(lpn.value()) + ")");
       }
       if (tokens_out) tokens_out->push_back(r.token);
-      add_to_group(FlashPageId(div_slots_per_page_.Div(tr.value().ppn.value())), dep);
+      add_to_group(FlashPageId(div_slots_per_page_.Div(tr.value().ppn.value())), dep,
+                   r.retry_level);
       continue;
     }
     if (Status st = zones_.CheckRead(zone, off_in_zone, slot); !st.ok()) return st;
@@ -645,7 +749,7 @@ Result<SimTime> ConZoneDevice::Read(std::uint64_t offset, std::uint64_t len, Sim
                               std::to_string(ppn.value()) + ")");
     }
     if (tokens_out) tokens_out->push_back(r.token);
-    add_to_group(FlashPageId(div_slots_per_page_.Div(ppn.value())), dep);
+    add_to_group(FlashPageId(div_slots_per_page_.Div(ppn.value())), dep, r.retry_level);
   }
 
   for (const PageGroup& g : groups) {
@@ -653,7 +757,7 @@ Result<SimTime> ConZoneDevice::Read(std::uint64_t offset, std::uint64_t len, Sim
     array_.CountPageRead();
     data_done = Later(data_done, engine_.ReadPage(geo.ChipOfBlock(block),
                                                   geo.CellOfBlock(block),
-                                                  g.slots * slot, g.dep));
+                                                  g.slots * slot, g.dep, g.retries));
   }
 
   // Stream the payload back to the host.
@@ -699,9 +803,21 @@ Result<SimTime> ConZoneDevice::ResetZone(ZoneId zone, SimTime now) {
     const SuperblockId sb = layout_.SuperblockOfZone(zone, k);
     for (std::uint32_t c = 0; c < geo.NumChips(); ++c) {
       const BlockId b = geo.BlockOfSuperblock(sb, ChipId{c});
+      if (array_.IsRetired(b)) {
+        // Grown-bad reserved block: scrub leftovers; future writes to its
+        // units re-drive into SLC (the zone comes back degraded).
+        array_.ScrubBlock(b);
+        continue;
+      }
       if (array_.NextProgramSlot(b) == 0) continue;
-      if (Status st = array_.EraseBlock(b); !st.ok()) return st;
+      Status st = array_.EraseBlock(b);
       done = Later(done, engine_.Erase(ChipId{c}, geo.normal_cell, t0));
+      if (!st.ok()) {
+        if (st.code() != StatusCode::kMediaError) return st;
+        array_.ScrubBlock(b);
+        array_.mutable_reliability().recovery_time +=
+            engine_.timing().For(geo.normal_cell).erase_latency;
+      }
     }
   }
   runtime_[static_cast<std::size_t>(zone.value())] = ZoneRuntime{};
@@ -737,6 +853,19 @@ const std::uint64_t* ConZoneDevice::BufferedToken(Lpn lpn) const {
     }
   }
   return nullptr;
+}
+
+SimTime ConZoneDevice::ChargeNormalBurns(SimTime issue) {
+  SimTime done = issue;
+  const FlashGeometry& geo = cfg_.geometry;
+  ReliabilityStats& rel = array_.mutable_reliability();
+  for (const ChipId chip : conv_alloc_.last_failed_chips()) {
+    done = Later(done,
+                 engine_.Program(chip, geo.normal_cell, geo.program_unit, issue).data_in);
+    rel.recovery_time += engine_.timing().For(geo.normal_cell).program_latency;
+    rel.rewrite_slots += geo.program_unit / geo.slot_size;
+  }
+  return done;
 }
 
 Status ConZoneDevice::SetMappingInPlace(Lpn lpn, Ppn ppn) {
@@ -824,6 +953,9 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushConventionalExtent(
     auto unit = conv_alloc_.ProgramUnit(
         std::span<const SlotWrite>(extent.slots).subspan(i, unit_slots));
     if (!unit.ok()) return unit.status();
+    if (!conv_alloc_.last_failed_chips().empty()) {
+      done.sram_free = Later(done.sram_free, ChargeNormalBurns(now));
+    }
     const auto prog =
         engine_.Program(unit.value().chip, geo.normal_cell, geo.program_unit, now);
     done.sram_free = Later(done.sram_free, prog.data_in);
@@ -844,6 +976,10 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushConventionalExtent(
                                 extent.slots.end());
     auto ppns = slc_alloc_.Program(rest);
     if (!ppns.ok()) return ppns.status();
+    if (!slc_alloc_.last_failed().empty()) {
+      ChargeSlcRewrites(engine_, geo, slc_alloc_.last_failed(), now,
+                        &array_.mutable_reliability());
+    }
     const auto prog = ProgramSlcSlots(engine_, geo, ppns.value(), now);
     done.sram_free = Later(done.sram_free, prog.data_in);
     done.media_done = Later(done.media_done, prog.end);
@@ -888,13 +1024,17 @@ Result<SimTime> ConZoneDevice::CollectConventional(SimTime now) {
     for (std::uint32_t sb = pool_begin; sb < pool_end; ++sb) {
       const SuperblockId cand{sb};
       if (cand == conv_alloc_.current_superblock()) continue;
+      if (pool_.IsFreeNormal(cand)) continue;
       std::uint64_t valid = 0, used = 0;
+      std::uint32_t healthy = 0;
       for (std::uint32_t c = 0; c < geo.NumChips(); ++c) {
         const BlockId b = geo.BlockOfSuperblock(cand, ChipId{c});
         valid += array_.ValidSlots(b);
         used += array_.NextProgramSlot(b);
+        if (!array_.IsRetired(b)) ++healthy;
       }
       if (used == 0) continue;
+      if (healthy == 0) continue;  // fully retired: nothing reclaimable
       if (valid < best_valid) {
         best_valid = valid;
         victim = cand;
@@ -917,13 +1057,16 @@ Result<SimTime> ConZoneDevice::CollectConventional(SimTime now) {
       const BlockId b = geo.BlockOfSuperblock(victim, ChipId{c});
       const std::uint32_t used = array_.NextProgramSlot(b);
       std::uint32_t page_live = 0;
+      std::uint32_t page_retry = 0;
       std::uint32_t current_page = ~0u;
       auto flush_page = [&] {
         if (page_live == 0) return;
         array_.CountPageRead();
-        reads_done = Later(reads_done, engine_.ReadPage(ChipId{c}, geo.normal_cell,
-                                                        page_live * geo.slot_size, t));
+        reads_done = Later(reads_done,
+                           engine_.ReadPage(ChipId{c}, geo.normal_cell,
+                                            page_live * geo.slot_size, t, page_retry));
         page_live = 0;
+        page_retry = 0;
       };
       for (std::uint32_t sidx = 0; sidx < used; ++sidx) {
         const std::uint32_t page = sidx / geo.SlotsPerPage();
@@ -935,6 +1078,7 @@ Result<SimTime> ConZoneDevice::CollectConventional(SimTime now) {
         }
         ++page_live;
         const SlotRead r = array_.ReadSlot(ppn);
+        if (r.retry_level > page_retry) page_retry = r.retry_level;
         live.push_back(SlotWrite{r.lpn, r.token});
         old_ppns.push_back(ppn);
       }
@@ -955,6 +1099,9 @@ Result<SimTime> ConZoneDevice::CollectConventional(SimTime now) {
       unit.resize(geo.program_unit / geo.slot_size, SlotWrite{Lpn::Invalid(), 0});
       auto res = conv_alloc_.ProgramUnit(unit);
       if (!res.ok()) return res.status();
+      if (!conv_alloc_.last_failed_chips().empty()) {
+        t = Later(t, ChargeNormalBurns(reads_done));
+      }
       t = Later(t, engine_.Program(res.value().chip, geo.normal_cell, geo.program_unit,
                                    reads_done)
                        .end);
@@ -972,13 +1119,28 @@ Result<SimTime> ConZoneDevice::CollectConventional(SimTime now) {
       stats_.conventional_gc_migrated += data_count;
     }
     SimTime erases = t;
+    std::uint32_t healthy_erased = 0;
     for (std::uint32_t c = 0; c < geo.NumChips(); ++c) {
       const BlockId b = geo.BlockOfSuperblock(victim, ChipId{c});
-      if (Status st = array_.EraseBlock(b); !st.ok()) return st;
+      if (array_.IsRetired(b)) {
+        array_.ScrubBlock(b);
+        continue;
+      }
+      Status st = array_.EraseBlock(b);
       erases = Later(erases, engine_.Erase(ChipId{c}, geo.normal_cell, t));
+      if (st.ok()) {
+        ++healthy_erased;
+        continue;
+      }
+      if (st.code() != StatusCode::kMediaError) return st;
+      array_.ScrubBlock(b);
+      array_.mutable_reliability().recovery_time +=
+          engine_.timing().For(geo.normal_cell).erase_latency;
     }
     t = erases;
-    if (Status st = pool_.ReleaseNormal(victim); !st.ok()) return st;
+    if (healthy_erased > 0) {
+      if (Status st = pool_.ReleaseNormal(victim); !st.ok()) return st;
+    }
   }
   return t;
 }
@@ -1004,6 +1166,9 @@ Result<SimTime> ConZoneDevice::EvictConventionalFromSlc(std::vector<SlotWrite> s
     unit.resize(unit_slots, SlotWrite{Lpn::Invalid(), 0});
     auto res = conv_alloc_.ProgramUnit(unit);
     if (!res.ok()) return res.status();
+    if (!conv_alloc_.last_failed_chips().empty()) {
+      t = Later(t, ChargeNormalBurns(t));
+    }
     t = Later(t, engine_.Program(res.value().chip, geo.normal_cell, geo.program_unit, t)
                      .end);
     for (std::size_t k = 0; k < unit.size(); ++k) {

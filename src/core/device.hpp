@@ -35,6 +35,7 @@
 #include "core/config.hpp"
 #include "core/storage_device.hpp"
 #include "core/zone_layout.hpp"
+#include "fault/fault_model.hpp"
 #include "flash/array.hpp"
 #include "flash/normal_allocator.hpp"
 #include "flash/slc_allocator.hpp"
@@ -105,6 +106,11 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
   const FlashTimingEngine& engine() const { return engine_; }
   const ConZoneStats& stats() const { return stats_; }
   const MediaCounters& media_counters() const { return array_.counters(); }
+  const ReliabilityStats& reliability() const { return array_.reliability(); }
+  const FaultModel& fault_model() const { return fault_; }
+  /// True once the device has latched read-only mode (healthy SLC spare
+  /// fell below the configured floor). Writes fail, reads keep working.
+  bool read_only() const { return read_only_; }
 
   /// Flash slots programmed x slot size / host bytes written.
   double WriteAmplification() const;
@@ -129,6 +135,11 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
     Ppn patch_start;
     bool patch_contiguous = false;
     bool zone_aggregated = false;
+    /// A reserved normal block failed a program (or was already retired):
+    /// part of the zone's "normal" range actually lives in SLC under page
+    /// mapping, so no FURTHER aggregation may be stamped. Chunks stamped
+    /// before the failure remain layout-resident and stay valid.
+    bool degraded = false;
   };
 
   // PhysicalResolver: aggregated-entry address computation over the
@@ -161,6 +172,21 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
   Result<FlushResult> StageSlots(ZoneId zone, ZoneRuntime& zr,
                                  const BufferedExtent& extent, std::uint64_t from_byte,
                                  SimTime now);
+
+  /// Recovery: a reserved normal block refused (or failed) a one-shot
+  /// unit — program the unit's slots into SLC under page mapping and mark
+  /// the zone degraded (no further aggregation).
+  Result<FlushResult> RedriveUnitToSlc(ZoneRuntime& zr,
+                                       std::span<const SlotWrite> data, SimTime now);
+
+  /// Lazily latch read-only mode when the healthy SLC spare drops below
+  /// the configured floor. Called at the top of every write.
+  bool InReadOnly();
+
+  /// Charge the die time of one-shot pulses the conventional allocator
+  /// burned on failed programs (last_failed_chips) and book the recovery
+  /// work. Returns when the burned transfers drain.
+  SimTime ChargeNormalBurns(SimTime issue);
 
   /// Read staged SLC slots for zone-relative range [begin, end); groups
   /// by flash page, invalidates them, appends their data to `out`.
@@ -206,6 +232,7 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
 
   ConZoneConfig cfg_;
   ZoneLayout layout_;
+  FaultModel fault_;  ///< Before array_: attached to it during construction.
   FlashArray array_;
   FlashTimingEngine engine_;
   SuperblockPool pool_;
@@ -224,12 +251,14 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
   std::vector<ZoneRuntime> runtime_;
   std::vector<SimTime> buffer_ready_;  ///< Per-buffer flush completion.
   ConZoneStats stats_;
+  bool read_only_ = false;  ///< Latched by InReadOnly(); reads still serve.
 
   /// One flash page touched by a read request and the slots it serves.
   struct PageGroup {
     FlashPageId page;
     std::uint32_t slots = 0;
     SimTime dep;  // latest metadata fetch feeding this page
+    std::uint32_t retries = 0;  // max read-retry level across the slots
   };
   // Per-request scratch buffers: Read/Write never recurse into
   // themselves, so reusing these keeps the per-IO paths allocation-free

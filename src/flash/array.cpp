@@ -5,6 +5,21 @@
 
 namespace conzone {
 
+namespace {
+std::uint64_t SatSub(std::uint64_t a, std::uint64_t b) { return a > b ? a - b : 0; }
+}  // namespace
+
+MediaCounters MediaCounters::Since(const MediaCounters& base) const {
+  MediaCounters d;
+  d.slots_programmed_slc = SatSub(slots_programmed_slc, base.slots_programmed_slc);
+  d.slots_programmed_normal =
+      SatSub(slots_programmed_normal, base.slots_programmed_normal);
+  d.page_reads = SatSub(page_reads, base.page_reads);
+  d.erases_slc = SatSub(erases_slc, base.erases_slc);
+  d.erases_normal = SatSub(erases_normal, base.erases_normal);
+  return d;
+}
+
 FlashArray::FlashArray(const FlashGeometry& geometry) : geo_(geometry) {
   assert(geo_.Validate().ok());
   slots_.resize(static_cast<std::size_t>(geo_.TotalSlots()));
@@ -24,6 +39,10 @@ Status FlashArray::ProgramSlots(BlockId block, std::span<const SlotWrite> writes
     return Status::InvalidArgument("program: empty write");
   }
   BlockMeta& meta = blocks_[static_cast<std::size_t>(block.value())];
+  if (meta.health == BlockHealth::kRetired) {
+    return Status::FailedPrecondition("program: block " +
+                                      std::to_string(block.value()) + " is retired");
+  }
   const std::uint32_t usable = UsableSlots(block);
   if (meta.next_slot + writes.size() > usable) {
     return Status::FailedPrecondition(
@@ -46,6 +65,28 @@ Status FlashArray::ProgramSlots(BlockId block, std::span<const SlotWrite> writes
   const std::uint64_t slots_per_block =
       static_cast<std::uint64_t>(geo_.pages_per_block) * geo_.SlotsPerPage();
   const std::uint64_t base = block.value() * slots_per_block + meta.next_slot;
+
+  if (fault_ != nullptr && fault_->enabled() &&
+      fault_->ProgramFails(slc, meta.erase_count)) {
+    // The pulse failed mid-program: the attempted slots hold garbage and
+    // the block has grown bad. Burn the slots (cursor advances, nothing
+    // counts as programmed) and retire the block; the FTL re-drives the
+    // payload elsewhere.
+    for (std::size_t i = 0; i < writes.size(); ++i) {
+      slots_[static_cast<std::size_t>(base + i)].state = SlotState::kInvalid;
+    }
+    meta.next_slot += static_cast<std::uint32_t>(writes.size());
+    if (slc) {
+      rel_.program_failures_slc++;
+    } else {
+      rel_.program_failures_normal++;
+    }
+    RetireBlock(block);
+    return Status::MediaError("program failure on block " +
+                              std::to_string(block.value()) + " (" +
+                              (slc ? "slc" : "normal") + "); block retired");
+  }
+
   for (std::size_t i = 0; i < writes.size(); ++i) {
     Slot& s = slots_[static_cast<std::size_t>(base + i)];
     assert(s.state == SlotState::kFree && "sequential cursor points at non-free slot");
@@ -57,8 +98,10 @@ Status FlashArray::ProgramSlots(BlockId block, std::span<const SlotWrite> writes
   meta.valid_slots += static_cast<std::uint32_t>(writes.size());
   if (slc) {
     counters_.slots_programmed_slc += writes.size();
+    lifetime_.slots_programmed_slc += writes.size();
   } else {
     counters_.slots_programmed_normal += writes.size();
+    lifetime_.slots_programmed_normal += writes.size();
   }
   return Status::Ok();
 }
@@ -70,6 +113,15 @@ SlotRead FlashArray::ReadSlot(Ppn ppn) const {
   out.state = s.state;
   out.lpn = s.lpn;
   out.token = s.token;
+  if (fault_ != nullptr && fault_->enabled() && s.state == SlotState::kValid) {
+    const BlockId block = geo_.BlockOfSlot(ppn);
+    const BlockMeta& meta = blocks_[static_cast<std::size_t>(block.value())];
+    out.retry_level = fault_->ReadRetryLevel(geo_.IsSlcBlock(block), meta.erase_count);
+    if (out.retry_level > 0) {
+      rel_.reads_with_retry++;
+      rel_.read_retries += out.retry_level;
+    }
+  }
   return out;
 }
 
@@ -94,6 +146,27 @@ Status FlashArray::EraseBlock(BlockId block) {
     return Status::OutOfRange("erase: bad block id " + std::to_string(block.value()));
   }
   BlockMeta& meta = blocks_[static_cast<std::size_t>(block.value())];
+  if (meta.health == BlockHealth::kRetired) {
+    return Status::FailedPrecondition("erase: block " +
+                                      std::to_string(block.value()) + " is retired");
+  }
+  const bool slc = geo_.IsSlcBlock(block);
+  if (fault_ != nullptr && fault_->enabled() &&
+      fault_->EraseFails(slc, meta.erase_count)) {
+    // The erase pulse wore the oxide but failed to verify: wear accrues,
+    // the slots keep their (now untrusted) content, and the block is
+    // retired. Callers scrub the leftover state via ScrubBlock.
+    meta.erase_count++;
+    if (slc) {
+      rel_.erase_failures_slc++;
+    } else {
+      rel_.erase_failures_normal++;
+    }
+    RetireBlock(block);
+    return Status::MediaError("erase failure on block " +
+                              std::to_string(block.value()) + " (" +
+                              (slc ? "slc" : "normal") + "); block retired");
+  }
   const std::uint64_t slots_per_block =
       static_cast<std::uint64_t>(geo_.pages_per_block) * geo_.SlotsPerPage();
   const std::uint64_t base = block.value() * slots_per_block;
@@ -103,12 +176,52 @@ Status FlashArray::EraseBlock(BlockId block) {
   meta.next_slot = 0;
   meta.valid_slots = 0;
   meta.erase_count++;
-  if (geo_.IsSlcBlock(block)) {
+  if (slc) {
     counters_.erases_slc++;
+    lifetime_.erases_slc++;
   } else {
     counters_.erases_normal++;
+    lifetime_.erases_normal++;
   }
   return Status::Ok();
+}
+
+void FlashArray::RetireBlock(BlockId block) {
+  BlockMeta& meta = blocks_[static_cast<std::size_t>(block.value())];
+  if (meta.health == BlockHealth::kRetired) return;
+  meta.health = BlockHealth::kRetired;
+  if (geo_.IsSlcBlock(block)) {
+    rel_.retired_blocks_slc++;
+  } else {
+    rel_.retired_blocks_normal++;
+  }
+}
+
+bool FlashArray::IsRetired(BlockId block) const {
+  return HealthOfBlock(block) == BlockHealth::kRetired;
+}
+
+BlockHealth FlashArray::HealthOfBlock(BlockId block) const {
+  return blocks_[static_cast<std::size_t>(block.value())].health;
+}
+
+std::uint32_t FlashArray::HealthySlcBlocks() const {
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(geo_.slc_blocks_per_chip) * geo_.NumChips();
+  const std::uint64_t retired = rel_.retired_blocks_slc;
+  return retired >= total ? 0 : static_cast<std::uint32_t>(total - retired);
+}
+
+void FlashArray::ScrubBlock(BlockId block) {
+  BlockMeta& meta = blocks_[static_cast<std::size_t>(block.value())];
+  const std::uint64_t slots_per_block =
+      static_cast<std::uint64_t>(geo_.pages_per_block) * geo_.SlotsPerPage();
+  const std::uint64_t base = block.value() * slots_per_block;
+  for (std::uint64_t i = 0; i < slots_per_block; ++i) {
+    Slot& s = slots_[static_cast<std::size_t>(base + i)];
+    if (s.state != SlotState::kFree) s.state = SlotState::kInvalid;
+  }
+  meta.valid_slots = 0;
 }
 
 SlotState FlashArray::StateOfSlot(Ppn ppn) const {

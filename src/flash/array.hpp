@@ -23,12 +23,19 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/stats.hpp"
 #include "common/status.hpp"
+#include "fault/fault_model.hpp"
 #include "flash/geometry.hpp"
 
 namespace conzone {
 
 enum class SlotState : std::uint8_t { kFree = 0, kValid = 1, kInvalid = 2 };
+
+/// Per-block media health. A block that fails a program or an erase is
+/// grown bad and retired: it refuses further programs/erases but its
+/// already-valid slots stay readable until the FTL drains them.
+enum class BlockHealth : std::uint8_t { kGood = 0, kRetired = 1 };
 
 /// One 4 KiB unit of data to program. `lpn` is recorded in the slot's OOB
 /// area; padding slots (alignment filler) carry an invalid lpn.
@@ -41,6 +48,9 @@ struct SlotRead {
   SlotState state = SlotState::kFree;
   Lpn lpn;
   std::uint64_t token = 0;
+  /// Read-retry steps this sense needed before it ECC-corrected
+  /// (0 = clean). Drawn from the attached FaultModel; always 0 without one.
+  std::uint32_t retry_level = 0;
 };
 
 /// Cumulative media counters, split by cell type — the denominator and
@@ -55,6 +65,11 @@ struct MediaCounters {
   std::uint64_t TotalSlotsProgrammed() const {
     return slots_programmed_slc + slots_programmed_normal;
   }
+
+  /// Per-field delta against an earlier snapshot, saturating at zero so a
+  /// stale baseline (taken before a mid-run ResetCounters) can never make
+  /// derived metrics such as write amplification go negative.
+  MediaCounters Since(const MediaCounters& base) const;
 };
 
 class FlashArray {
@@ -63,23 +78,60 @@ class FlashArray {
 
   const FlashGeometry& geometry() const { return geo_; }
 
+  /// Attach a fault model. Null (default) means the fault paths below are
+  /// never taken and no RNG is consumed. The model must outlive the array.
+  void AttachFaultModel(FaultModel* fault) { fault_ = fault; }
+  bool FaultsEnabled() const { return fault_ != nullptr && fault_->enabled(); }
+
   /// Program `writes.size()` consecutive slots of `block`, starting at the
   /// block's internal write position. Normal blocks additionally require
   /// the write to be a whole number of program units.
+  ///
+  /// With a fault model attached this may return MediaError: the attempted
+  /// slots are burned (left kInvalid, cursor advanced) and the block is
+  /// retired. The caller must re-drive the payload into a healthy block.
   Status ProgramSlots(BlockId block, std::span<const SlotWrite> writes);
 
-  /// State + OOB + payload of one slot (any state; callers check).
+  /// State + OOB + payload of one slot (any state; callers check). With a
+  /// fault model attached, `retry_level` reports how many read-retry steps
+  /// this sense needed — the timing engine turns that into latency.
   SlotRead ReadSlot(Ppn ppn) const;
 
   /// Record a physical page read (for MediaCounters only; timing is the
   /// engine's job).
-  void CountPageRead() { counters_.page_reads++; }
+  void CountPageRead() {
+    counters_.page_reads++;
+    lifetime_.page_reads++;
+  }
 
   /// Mark a previously valid slot invalid (host overwrite / zone reset /
   /// GC migration source).
   Status InvalidateSlot(Ppn ppn);
 
+  /// With a fault model attached this may return MediaError: the erase
+  /// count still accrues (wear happens), the block is retired, and its
+  /// slots are left as-is; callers scrub via ScrubBlock.
   Status EraseBlock(BlockId block);
+
+  // --- Reliability ---
+
+  /// Force-retire a block (grown bad). Idempotent. Retired blocks refuse
+  /// ProgramSlots/EraseBlock but stay readable.
+  void RetireBlock(BlockId block);
+  bool IsRetired(BlockId block) const;
+  BlockHealth HealthOfBlock(BlockId block) const;
+  /// Healthy (non-retired) blocks remaining in the SLC region — the input
+  /// to the read-only spare-floor check.
+  std::uint32_t HealthySlcBlocks() const;
+
+  /// Drop every non-free slot of a retired block to kInvalid and zero its
+  /// valid count, WITHOUT resetting the program cursor (the block was not
+  /// erased — it just holds no live data any more). Used after an erase
+  /// failure, once GC has migrated the block's live slots away.
+  void ScrubBlock(BlockId block);
+
+  const ReliabilityStats& reliability() const { return rel_; }
+  ReliabilityStats& mutable_reliability() { return rel_; }
 
   // --- Inspectors ---
   SlotState StateOfSlot(Ppn ppn) const;
@@ -90,7 +142,11 @@ class FlashArray {
   std::uint32_t ValidSlots(BlockId block) const;
   std::uint32_t EraseCount(BlockId block) const;
   const MediaCounters& counters() const { return counters_; }
-  /// Zero the cumulative counters (benchmark phase boundaries).
+  /// Monotone since-construction counters, unaffected by ResetCounters —
+  /// take deltas with MediaCounters::Since when a phase may reset mid-run.
+  const MediaCounters& lifetime_counters() const { return lifetime_; }
+  /// Zero the phase counters (benchmark phase boundaries). `lifetime_`
+  /// keeps counting so derived metrics can clamp instead of going negative.
   void ResetCounters() { counters_ = MediaCounters{}; }
 
  private:
@@ -98,6 +154,7 @@ class FlashArray {
     std::uint32_t next_slot = 0;   // sequential-programming cursor
     std::uint32_t valid_slots = 0;
     std::uint32_t erase_count = 0;
+    BlockHealth health = BlockHealth::kGood;
   };
 
   struct Slot {
@@ -112,6 +169,11 @@ class FlashArray {
   std::vector<Slot> slots_;
   std::vector<BlockMeta> blocks_;
   MediaCounters counters_;
+  MediaCounters lifetime_;
+  // ReadSlot is const on every existing call path but must record retry
+  // accounting; the fault draw mutates only these two members.
+  mutable ReliabilityStats rel_;
+  FaultModel* fault_ = nullptr;
 };
 
 }  // namespace conzone

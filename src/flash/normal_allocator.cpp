@@ -23,28 +23,44 @@ Result<NormalAllocator::UnitResult> NormalAllocator::ProgramUnit(
     return Status::InvalidArgument("ProgramUnit needs exactly " +
                                    std::to_string(unit_slots) + " slots");
   }
-  if (!current_.valid() || row_ >= geo_.UnitsPerBlock()) {
-    if (Status st = BindNextSuperblock(); !st.ok()) return st;
-  }
-  const ChipId chip{chip_off_};
-  const BlockId block = geo_.BlockOfSuperblock(current_, chip);
-  if (Status st = array_.ProgramSlots(block, writes); !st.ok()) return st;
+  failed_chips_.clear();
+  // Retry until the unit lands on a healthy block: retired blocks are
+  // skipped, a fresh program failure burns the pulse (chip recorded for
+  // timing) and the unit is re-driven at the next position. Terminates:
+  // the (row, chip) cursor strictly advances and pool exhaustion surfaces
+  // as kResourceExhausted.
+  for (;;) {
+    if (!current_.valid() || row_ >= geo_.UnitsPerBlock()) {
+      if (Status st = BindNextSuperblock(); !st.ok()) return st;
+    }
+    const ChipId chip{chip_off_};
+    const BlockId block = geo_.BlockOfSuperblock(current_, chip);
+    const std::uint32_t first_page = row_ * geo_.PagesPerProgramUnit();
+    if (++chip_off_ == geo_.NumChips()) {
+      chip_off_ = 0;
+      ++row_;
+    }
+    if (array_.IsRetired(block)) continue;
 
-  UnitResult out;
-  out.chip = chip;
-  out.ppns.reserve(writes.size());
-  const std::uint32_t first_page = row_ * geo_.PagesPerProgramUnit();
-  for (std::uint64_t k = 0; k < unit_slots; ++k) {
-    const std::uint32_t page =
-        first_page + static_cast<std::uint32_t>(k / geo_.SlotsPerPage());
-    const std::uint32_t slot = static_cast<std::uint32_t>(k % geo_.SlotsPerPage());
-    out.ppns.push_back(geo_.SlotAt(geo_.PageAt(block, page), slot));
+    Status st = array_.ProgramSlots(block, writes);
+    if (!st.ok()) {
+      if (st.code() == StatusCode::kMediaError) {
+        failed_chips_.push_back(chip);
+        continue;
+      }
+      return st;
+    }
+    UnitResult out;
+    out.chip = chip;
+    out.ppns.reserve(writes.size());
+    for (std::uint64_t k = 0; k < unit_slots; ++k) {
+      const std::uint32_t page =
+          first_page + static_cast<std::uint32_t>(k / geo_.SlotsPerPage());
+      const std::uint32_t slot = static_cast<std::uint32_t>(k % geo_.SlotsPerPage());
+      out.ppns.push_back(geo_.SlotAt(geo_.PageAt(block, page), slot));
+    }
+    return out;
   }
-  if (++chip_off_ == geo_.NumChips()) {
-    chip_off_ = 0;
-    ++row_;
-  }
-  return out;
 }
 
 }  // namespace conzone

@@ -29,11 +29,20 @@ class NormalAllocator {
   /// Program exactly one unit (program_unit bytes) of slots; `writes`
   /// must contain unit/slot_size entries. Returns the PPN of each slot
   /// and the chip that executed the program (for timing).
+  ///
+  /// Media faults are absorbed here: a failed one-shot program retires
+  /// the block and the unit is re-driven at the next healthy position; a
+  /// successful return means the unit landed. The chips whose pulses
+  /// burned are reported via last_failed_chips() for timing charges.
   struct UnitResult {
     std::vector<Ppn> ppns;
     ChipId chip;
   };
   Result<UnitResult> ProgramUnit(std::span<const SlotWrite> writes);
+
+  /// Chips that burned a failed one-shot pulse during the most recent
+  /// ProgramUnit call.
+  std::span<const ChipId> last_failed_chips() const { return failed_chips_; }
 
   SuperblockId current_superblock() const { return current_; }
 
@@ -47,6 +56,7 @@ class NormalAllocator {
   SuperblockId current_;
   std::uint32_t row_ = 0;       // unit row within the superblock
   std::uint32_t chip_off_ = 0;  // next chip within the row
+  std::vector<ChipId> failed_chips_;  // burned pulses of the last call
 };
 
 }  // namespace conzone

@@ -28,24 +28,43 @@ Result<std::vector<Ppn>> SlcAllocator::Program(std::span<const SlotWrite> writes
   const std::uint32_t spp = geo_.SlotsPerPage();
   const std::uint64_t total =
       static_cast<std::uint64_t>(geo_.SlcUsableSlotsPerBlock()) * geo_.NumChips();
+  failed_.clear();
 
   std::vector<Ppn> ppns;
   ppns.reserve(writes.size());
   for (const SlotWrite& w : writes) {
-    if (!current_.valid() || index_ >= total) {
-      Status st = BindNextSuperblock();
-      if (!st.ok()) return st;
+    // Each write retries until it lands: retired blocks are skipped, and a
+    // fresh program failure burns its slot (recorded in failed_) before the
+    // write is re-driven at the next position. Termination: index_ strictly
+    // advances, and pool exhaustion surfaces as kResourceExhausted.
+    for (;;) {
+      if (!current_.valid() || index_ >= total) {
+        Status st = BindNextSuperblock();
+        if (!st.ok()) return st;
+      }
+      const std::uint32_t page_row = static_cast<std::uint32_t>(index_ / (spp * geo_.NumChips()));
+      const std::uint32_t chip = static_cast<std::uint32_t>((index_ / spp) % geo_.NumChips());
+      const std::uint32_t slot = static_cast<std::uint32_t>(index_ % spp);
+      const BlockId block = geo_.BlockOfSuperblock(current_, ChipId{chip});
+      if (array_.IsRetired(block)) {
+        ++index_;
+        continue;
+      }
+      // In this order each block's sequential cursor is page_row*spp + slot.
+      const SlotWrite one[] = {w};
+      Status st = array_.ProgramSlots(block, one);
+      if (st.ok()) {
+        ppns.push_back(geo_.SlotAt(geo_.PageAt(block, page_row), slot));
+        ++index_;
+        break;
+      }
+      if (st.code() == StatusCode::kMediaError) {
+        failed_.push_back(geo_.SlotAt(geo_.PageAt(block, page_row), slot));
+        ++index_;
+        continue;
+      }
+      return st;
     }
-    const std::uint32_t page_row = static_cast<std::uint32_t>(index_ / (spp * geo_.NumChips()));
-    const std::uint32_t chip = static_cast<std::uint32_t>((index_ / spp) % geo_.NumChips());
-    const std::uint32_t slot = static_cast<std::uint32_t>(index_ % spp);
-    const BlockId block = geo_.BlockOfSuperblock(current_, ChipId{chip});
-    // In this order each block's sequential cursor is page_row*spp + slot.
-    const SlotWrite one[] = {w};
-    Status st = array_.ProgramSlots(block, one);
-    if (!st.ok()) return st;
-    ppns.push_back(geo_.SlotAt(geo_.PageAt(block, page_row), slot));
-    ++index_;
   }
   return ppns;
 }

@@ -31,7 +31,16 @@ class SlcAllocator {
   /// Program `writes` at the SLC write pointer; returns the physical slot
   /// of each write, in order. Fails with kResourceExhausted when the
   /// region runs out of free superblocks (caller must GC first).
+  ///
+  /// Media faults are absorbed here: a program failure burns the slot,
+  /// retires the block, and the write is re-driven at the next healthy
+  /// position — so a successful return means every write landed. Burned
+  /// positions are reported via last_failed() for timing/accounting.
   Result<std::vector<Ppn>> Program(std::span<const SlotWrite> writes);
+
+  /// Slots burned by program failures during the most recent Program call
+  /// (the die ran a pulse there; the data was re-driven elsewhere).
+  std::span<const Ppn> last_failed() const { return failed_; }
 
   /// Slots still available without taking another superblock from the
   /// pool (GC trigger input).
@@ -50,6 +59,7 @@ class SlcAllocator {
 
   SuperblockId current_;   // invalid until first program
   std::uint64_t index_ = 0;  // flat position in page-fill stripe order
+  std::vector<Ppn> failed_;  // burned positions of the last Program call
 };
 
 }  // namespace conzone

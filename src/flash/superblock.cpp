@@ -63,4 +63,12 @@ Status SuperblockPool::ReleaseSlc(SuperblockId sb) {
   return Status::Ok();
 }
 
+bool SuperblockPool::IsFreeSlc(SuperblockId sb) const {
+  return std::find(free_slc_.begin(), free_slc_.end(), sb) != free_slc_.end();
+}
+
+bool SuperblockPool::IsFreeNormal(SuperblockId sb) const {
+  return std::find(free_normal_.begin(), free_normal_.end(), sb) != free_normal_.end();
+}
+
 }  // namespace conzone

@@ -35,6 +35,11 @@ class SuperblockPool {
 
   std::size_t FreeSlcCount() const { return free_slc_.size(); }
   std::uint32_t TotalSlcCount() const { return geo_.NumSlcSuperblocks(); }
+  /// Whether `sb` currently sits on the SLC free list. GC victim selection
+  /// needs this explicitly once retired blocks exist: a free-list member
+  /// can still carry stale slot state in a retired block, so "no valid
+  /// slots" is no longer a reliable free-ness test.
+  bool IsFreeSlc(SuperblockId sb) const;
 
   /// Take a free normal-region superblock (Legacy FTL allocation).
   Result<SuperblockId> AllocateNormal();
@@ -42,6 +47,7 @@ class SuperblockPool {
   Status ReleaseNormal(SuperblockId sb);
   std::size_t FreeNormalCount() const { return free_normal_.size(); }
   std::uint32_t TotalNormalCount() const { return geo_.NumNormalSuperblocks(); }
+  bool IsFreeNormal(SuperblockId sb) const;
 
  private:
   FlashGeometry geo_;

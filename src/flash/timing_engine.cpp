@@ -18,10 +18,19 @@ FlashTimingEngine::FlashTimingEngine(const FlashGeometry& geometry,
 }
 
 SimTime FlashTimingEngine::ReadPage(ChipId chip, CellType cell, std::uint64_t bytes,
-                                    SimTime issue) {
+                                    SimTime issue, std::uint32_t retries) {
   assert(chip.value() < chips_.size());
   auto& die = chips_[static_cast<std::size_t>(chip.value())];
   auto& bus = BusOf(chip);
+
+  // Each read-retry step re-senses the page with shifted reference
+  // voltages; the suspend penalty (controller round-trip) is paid once.
+  const SimDuration sense_latency =
+      timing_.For(cell).read_latency * static_cast<std::uint64_t>(1 + retries);
+  if (retries > 0 && rel_ != nullptr) {
+    rel_->recovery_time +=
+        timing_.For(cell).read_latency * static_cast<std::uint64_t>(retries);
+  }
 
   ResourceTimeline::Reservation sense;
   if (timing_.program_suspend_reads) {
@@ -30,11 +39,11 @@ SimTime FlashTimingEngine::ReadPage(ChipId chip, CellType cell, std::uint64_t by
     // other on the die's read path.
     auto& reads = chip_reads_[static_cast<std::size_t>(chip.value())];
     const bool program_in_flight = die.busy_until() > issue;
-    SimDuration cost = timing_.For(cell).read_latency;
+    SimDuration cost = sense_latency;
     if (program_in_flight) cost += timing_.read_suspend_penalty;
     sense = reads.Reserve(issue, cost);
   } else {
-    sense = die.Reserve(issue, timing_.For(cell).read_latency);
+    sense = die.Reserve(issue, sense_latency);
   }
   const auto xfer = bus.Reserve(sense.end, XferTime(bytes));
   if (!timing_.program_suspend_reads && xfer.end > die.busy_until()) {
@@ -124,6 +133,21 @@ FlashTimingEngine::ProgramResult ProgramSlcSlots(FlashTimingEngine& engine,
     i = j;
   }
   return out;
+}
+
+FlashTimingEngine::ProgramResult ChargeSlcRewrites(FlashTimingEngine& engine,
+                                                   const FlashGeometry& geo,
+                                                   std::span<const Ppn> ppns,
+                                                   SimTime issue,
+                                                   ReliabilityStats* rel) {
+  if (ppns.empty()) return FlashTimingEngine::ProgramResult{issue, issue};
+  const auto prog = ProgramSlcSlots(engine, geo, ppns, issue);
+  if (rel != nullptr) {
+    rel->recovery_time += engine.timing().For(CellType::kSlc).program_latency *
+                          static_cast<std::uint64_t>(ppns.size());
+    rel->rewrite_slots += ppns.size();
+  }
+  return prog;
 }
 
 }  // namespace conzone

@@ -20,6 +20,7 @@
 
 #include "common/fastdiv.hpp"
 #include "common/ids.hpp"
+#include "common/stats.hpp"
 #include "common/time.hpp"
 #include "flash/geometry.hpp"
 #include "flash/timing.hpp"
@@ -31,9 +32,16 @@ class FlashTimingEngine {
  public:
   FlashTimingEngine(const FlashGeometry& geometry, const TimingConfig& timing);
 
+  /// Reliability sink for recovery-time accounting (read-retry re-senses,
+  /// burned pulses). Null (default) skips the bookkeeping.
+  void AttachReliability(ReliabilityStats* rel) { rel_ = rel; }
+
   /// Sense one page of `cell` media on `chip` and stream `bytes` out over
-  /// the chip's channel. Returns the completion time.
-  SimTime ReadPage(ChipId chip, CellType cell, std::uint64_t bytes, SimTime issue);
+  /// the chip's channel. Returns the completion time. `retries` is the
+  /// page's read-retry level: each step repeats the sense with shifted
+  /// reference voltages, so the die stays busy (1 + retries) x tR.
+  SimTime ReadPage(ChipId chip, CellType cell, std::uint64_t bytes, SimTime issue,
+                   std::uint32_t retries = 0);
 
   struct ProgramResult {
     /// When the source buffer is drained (data fully streamed into the
@@ -87,6 +95,7 @@ class FlashTimingEngine {
   std::vector<ResourceTimeline> channels_;
   std::vector<std::uint32_t> bus_of_chip_;    ///< chip -> index in channels_
   FastDiv div_bw_;                            ///< timing_.channel_bandwidth_bps
+  ReliabilityStats* rel_ = nullptr;           ///< Recovery-time sink (optional).
   /// Start time of each die's most recent program pulse. The die's single
   /// cache register frees when the pulse latches it into the array, so
   /// the *next* program's transfer may begin then — one-deep pipelining,
@@ -103,5 +112,16 @@ FlashTimingEngine::ProgramResult ProgramSlcSlots(FlashTimingEngine& engine,
                                                  const FlashGeometry& geo,
                                                  std::span<const Ppn> ppns,
                                                  SimTime issue);
+
+/// Charge the media time of SLC program pulses that FAILED: the die still
+/// ran each pulse before the verify rejected it, so the burned slots cost
+/// normal ProgramSlcSlots time, booked as recovery work in `rel` together
+/// with the rewrite count. (The successful re-drive is charged by the
+/// caller through the ordinary program path.)
+FlashTimingEngine::ProgramResult ChargeSlcRewrites(FlashTimingEngine& engine,
+                                                   const FlashGeometry& geo,
+                                                   std::span<const Ppn> ppns,
+                                                   SimTime issue,
+                                                   ReliabilityStats* rel);
 
 }  // namespace conzone

@@ -27,14 +27,20 @@ SuperblockId SlcGarbageCollector::SelectVictim() const {
   for (std::uint32_t s = 0; s < geo.NumSlcSuperblocks(); ++s) {
     const SuperblockId sb{s};
     if (sb == alloc_.current_superblock()) continue;
+    // Explicit free-list check: a freed superblock can still carry stale
+    // cursor state in a retired block, so used==0 no longer implies free.
+    if (pool_.IsFreeSlc(sb)) continue;
     std::uint64_t valid = 0;
     std::uint64_t used = 0;
+    std::uint32_t healthy = 0;
     for (std::uint32_t c = 0; c < geo.NumChips(); ++c) {
       const BlockId b = geo.BlockOfSuperblock(sb, ChipId{c});
       valid += array_.ValidSlots(b);
       used += array_.NextProgramSlot(b);
+      if (!array_.IsRetired(b)) ++healthy;
     }
-    if (used == 0) continue;  // free-list member or never written
+    if (used == 0) continue;   // never written
+    if (healthy == 0) continue;  // fully retired: nothing erasable to reclaim
     if (valid < best_valid) {
       best_valid = valid;
       best = sb;
@@ -56,17 +62,21 @@ Result<SimTime> SlcGarbageCollector::CollectOne(SuperblockId victim, SimTime now
   std::vector<Live> live;
   SimTime reads_done = now;
   for (std::uint32_t c = 0; c < geo.NumChips(); ++c) {
+    // Retired blocks are read too: their live slots must drain before the
+    // superblock can retire for good.
     const BlockId b = geo.BlockOfSuperblock(victim, ChipId{c});
     const std::uint32_t used = array_.NextProgramSlot(b);
     std::uint32_t page_live = 0;
+    std::uint32_t page_retry = 0;
     std::uint32_t current_page = std::numeric_limits<std::uint32_t>::max();
     auto flush_page_read = [&](std::uint32_t page) {
       if (page_live == 0) return;
       array_.CountPageRead();
       const SimTime end = engine_.ReadPage(ChipId{c}, CellType::kSlc,
-                                           page_live * geo.slot_size, now);
+                                           page_live * geo.slot_size, now, page_retry);
       reads_done = Later(reads_done, end);
       page_live = 0;
+      page_retry = 0;
       (void)page;
     };
     for (std::uint32_t i = 0; i < used; ++i) {
@@ -80,6 +90,7 @@ Result<SimTime> SlcGarbageCollector::CollectOne(SuperblockId victim, SimTime now
       }
       ++page_live;
       const SlotRead r = array_.ReadSlot(ppn);
+      if (r.retry_level > page_retry) page_retry = r.retry_level;
       live.push_back(Live{ppn, SlotWrite{r.lpn, r.token}});
     }
     flush_page_read(current_page);
@@ -117,6 +128,13 @@ Result<SimTime> SlcGarbageCollector::CollectOne(SuperblockId victim, SimTime now
     for (const Live& l : keep) writes.push_back(l.data);
     auto ppns = alloc_.Program(writes);
     if (!ppns.ok()) return ppns.status();
+    if (!alloc_.last_failed().empty()) {
+      // Pulses the migration burned on the way to healthy blocks.
+      progs_done = Later(progs_done,
+                         ChargeSlcRewrites(engine_, geo, alloc_.last_failed(),
+                                           reads_done,
+                                           &array_.mutable_reliability()).end);
+    }
     progs_done = Later(progs_done,
                        ProgramSlcSlots(engine_, geo, ppns.value(), reads_done).end);
     for (std::size_t i = 0; i < keep.size(); ++i) {
@@ -128,14 +146,34 @@ Result<SimTime> SlcGarbageCollector::CollectOne(SuperblockId victim, SimTime now
   }
 
   // Erase the victim's blocks (all chips in parallel) and free it.
+  // Retired blocks are scrubbed, not erased; an erase failure retires the
+  // block on the spot (the pulse still occupied the die). The superblock
+  // returns to the free list as long as one healthy block survives — a
+  // fully retired superblock is permanently lost capacity.
   SimTime erases_done = progs_done;
+  std::uint32_t healthy_erased = 0;
   for (std::uint32_t c = 0; c < geo.NumChips(); ++c) {
     const BlockId b = geo.BlockOfSuperblock(victim, ChipId{c});
-    if (Status st = array_.EraseBlock(b); !st.ok()) return st;
-    erases_done = Later(erases_done, engine_.Erase(ChipId{c}, CellType::kSlc, progs_done));
+    if (array_.IsRetired(b)) {
+      array_.ScrubBlock(b);
+      continue;
+    }
+    Status st = array_.EraseBlock(b);
+    const SimTime end = engine_.Erase(ChipId{c}, CellType::kSlc, progs_done);
+    erases_done = Later(erases_done, end);
+    if (st.ok()) {
+      ++healthy_erased;
+      continue;
+    }
+    if (st.code() != StatusCode::kMediaError) return st;
+    array_.ScrubBlock(b);
+    array_.mutable_reliability().recovery_time +=
+        engine_.timing().For(CellType::kSlc).erase_latency;
   }
-  ++stats_.superblocks_erased;
-  if (Status st = pool_.ReleaseSlc(victim); !st.ok()) return st;
+  if (healthy_erased > 0) {
+    ++stats_.superblocks_erased;
+    if (Status st = pool_.ReleaseSlc(victim); !st.ok()) return st;
+  }
   return erases_done;
 }
 

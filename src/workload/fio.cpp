@@ -141,6 +141,16 @@ void FioRunner::IssueLoop(RunCtx& ctx, std::size_t idx, SimTime t) {
   const std::uint64_t pos_before = job.position;
   auto comp = IssueOne(job, t);
   if (!comp.ok()) {
+    // Media errors and read-only rejection are per-IO conditions: the job
+    // records them and stops, the other jobs keep running (fio semantics).
+    // Anything else is a runner/device bug and aborts the whole run.
+    const StatusCode code = comp.status().code();
+    if (code == StatusCode::kMediaError || code == StatusCode::kResourceExhausted) {
+      if (job.result.io_errors == 0) job.result.first_error = comp.status();
+      job.result.io_errors++;
+      job.done = true;
+      return;
+    }
     run_error_ = comp.status();
     job.done = true;
     return;
@@ -204,10 +214,15 @@ Result<RunResult> FioRunner::Run(const std::vector<JobSpec>& jobs, SimTime start
   SimTime span_start = SimTime::Max();
   SimTime span_end = start;
   for (JobState& js : *states) {
-    js.result.throughput.elapsed = js.result.last_completion - js.result.first_issue;
+    // A job that failed on its first IO has no completions; guard the span.
+    js.result.throughput.elapsed =
+        js.result.last_completion > js.result.first_issue
+            ? js.result.last_completion - js.result.first_issue
+            : SimDuration();
     out.total.bytes += js.result.throughput.bytes;
     out.total.ops += js.result.throughput.ops;
     out.latency.Merge(js.result.latency);
+    out.io_errors += js.result.io_errors;
     span_start = std::min(span_start, js.result.first_issue);
     span_end = std::max(span_end, js.result.last_completion);
     out.jobs.push_back(std::move(js.result));

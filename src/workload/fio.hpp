@@ -71,6 +71,11 @@ struct JobResult {
   LatencyHistogram latency;
   SimTime first_issue;
   SimTime last_completion;
+  /// IOs that failed with a per-IO condition (media error, device gone
+  /// read-only). Such failures end the job but not the run: a real fio
+  /// job reports the error and the remaining jobs keep running.
+  std::uint64_t io_errors = 0;
+  Status first_error;  ///< First per-IO failure (Ok when io_errors == 0).
 };
 
 /// Aggregate over all jobs of a run (the "MT" rows of the paper).
@@ -83,6 +88,7 @@ struct RunResult {
                               ///< does not queue behind still-busy media.
   std::uint64_t events = 0;   ///< Simulator events executed by the run
                               ///< (wall-clock benchmarking: events/s).
+  std::uint64_t io_errors = 0;  ///< Sum of per-IO failures across jobs.
 
   double MiBps() const { return total.MiBps(); }
   double Kiops() const { return total.Kiops(); }

@@ -331,5 +331,33 @@ TEST(SlcAllocatorTest, ExhaustionReported) {
   EXPECT_EQ(alloc.Program(one).status().code(), StatusCode::kResourceExhausted);
 }
 
+TEST(FlashArrayTest, CounterSnapshotsClampAcrossMidRunReset) {
+  FlashArray array(SmallGeo());
+  const BlockId block{0};
+  std::vector<SlotWrite> w(4, SlotWrite{Lpn{1}, 1});
+  ASSERT_TRUE(array.ProgramSlots(block, w).ok());
+  array.CountPageRead();
+
+  // Snapshot taken, then someone resets the phase counters mid-run (a
+  // benchmark phase boundary). Deltas against the stale snapshot must
+  // clamp to zero, never wrap negative — write amplification and
+  // friends divide by these.
+  const MediaCounters stale = array.counters();
+  array.ResetCounters();
+  const MediaCounters delta = array.counters().Since(stale);
+  EXPECT_EQ(delta.slots_programmed_slc, 0u);
+  EXPECT_EQ(delta.page_reads, 0u);
+  EXPECT_EQ(delta.erases_slc, 0u);
+
+  // Forward deltas still work after the reset.
+  ASSERT_TRUE(array.ProgramSlots(block, w).ok());
+  EXPECT_EQ(array.counters().Since(MediaCounters{}).slots_programmed_slc, 4u);
+
+  // The lifetime counters are monotone and survive the reset untouched.
+  EXPECT_EQ(array.lifetime_counters().slots_programmed_slc, 8u);
+  EXPECT_EQ(array.lifetime_counters().page_reads, 1u);
+  EXPECT_EQ(array.lifetime_counters().Since(stale).slots_programmed_slc, 4u);
+}
+
 }  // namespace
 }  // namespace conzone
