@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Regression gate over bench_emulator_throughput JSON output.
+
+Compares candidate sim_ios_per_s against a baseline JSON by benchmark
+name and exits non-zero if any benchmark regressed by more than the
+threshold (default 15%). Benchmarks present in only one file are
+reported but never fatal: a new benchmark has no baseline to regress
+against, and a removed one cannot regress.
+
+Absolute sim-IOs/s are machine-dependent; the gate only means something
+when baseline and candidate come from the same runner class (CI records
+both on ubuntu-latest; see .github/workflows/ci.yml). Both files must
+come from Release builds — bench/run_bench.sh enforces that at record
+time.
+
+Usage:
+  bench/compare_bench.py BASELINE.json CANDIDATE.json [--threshold 0.15]
+"""
+import argparse
+import json
+import sys
+
+METRIC = "sim_ios_per_s"
+
+
+def load_rates(path):
+    """Map of benchmark name -> sim_ios_per_s for every per-iteration run."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    rates = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue  # means/medians of repeated runs; compare raw runs only
+        value = bench.get(METRIC)
+        if value is not None:
+            rates[bench["name"]] = float(value)
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("candidate", help="freshly recorded JSON to gate")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="max allowed fractional drop in %s (default 0.15)" % METRIC,
+    )
+    args = parser.parse_args()
+
+    base = load_rates(args.baseline)
+    cand = load_rates(args.candidate)
+    if not base:
+        sys.exit(f"no {METRIC} entries in baseline {args.baseline}")
+    if not cand:
+        sys.exit(f"no {METRIC} entries in candidate {args.candidate}")
+
+    regressed = []
+    for name in sorted(base):
+        if name not in cand:
+            print(f"MISSING    {name}  (baseline only; not fatal)")
+            continue
+        b, c = base[name], cand[name]
+        ratio = c / b if b > 0 else float("inf")
+        verdict = "OK"
+        if ratio < 1.0 - args.threshold:
+            verdict = "REGRESSED"
+            regressed.append(name)
+        print(
+            f"{verdict:10} {name}  baseline={b:,.0f}/s candidate={c:,.0f}/s "
+            f"({(ratio - 1.0) * 100.0:+.1f}%)"
+        )
+    for name in sorted(set(cand) - set(base)):
+        print(f"NEW        {name}  candidate={cand[name]:,.0f}/s (no baseline)")
+
+    if regressed:
+        print(
+            f"\nFAIL: {len(regressed)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%} in {METRIC}: " + ", ".join(regressed)
+        )
+        return 1
+    print(f"\nPASS: no benchmark regressed more than {args.threshold:.0%} in {METRIC}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

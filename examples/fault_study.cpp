@@ -7,6 +7,12 @@
 // while the tail stretches by whole multiples of the sense latency —
 // the signature of retry-dominated consumer flash (§II-A).
 //
+// The per-event recovery histograms underneath each row show WHERE the
+// tail comes from: the read-retry histogram buckets each retried read's
+// extra sense time (one bucket per retry depth, since each step adds one
+// fixed sense latency), the re-drive histogram each program-recovery
+// event.
+//
 //   ./build/examples/fault_study
 #include <cstdio>
 
@@ -57,6 +63,10 @@ int main() {
                 lat.Percentile(0.5).us(), lat.Percentile(0.99).us(),
                 lat.Percentile(0.999).us(), run.value().Kiops());
     std::printf("           %s\n", d.reliability().Summary().c_str());
+    std::printf("           read_retry_hist: %s\n",
+                d.reliability().read_retry_hist.Summary().c_str());
+    std::printf("           redrive_hist:    %s\n",
+                d.reliability().redrive_hist.Summary().c_str());
   }
   return 0;
 }

@@ -10,6 +10,22 @@
 
 namespace conzone {
 
+/// Combine a base seed with two salts into a decorrelated derived seed
+/// (SplitMix64 finalizer). Used to fan one master seed out into
+/// per-shard, per-job RNG streams that do not overlap. Pure function —
+/// the same inputs always derive the same stream.
+constexpr std::uint64_t MixSeeds(std::uint64_t base, std::uint64_t salt_a,
+                                 std::uint64_t salt_b) {
+  std::uint64_t z = base ^ (salt_a * 0x9E3779B97F4A7C15ull) ^
+                    (salt_b * 0xBF58476D1CE4E5B9ull);
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ull;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z;
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }

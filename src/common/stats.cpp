@@ -86,6 +86,65 @@ std::string LatencyHistogram::Summary() const {
   return buf;
 }
 
+int Log2Histogram::BucketIndex(std::uint64_t ns) {
+  if (ns == 0) return 0;
+  return std::min<int>(kBuckets - 1, 64 - std::countl_zero(ns));
+}
+
+namespace {
+// "512ns", "4us", "32ms" — power-of-two edges render exactly in at most
+// one unit; keep them integral for readability.
+std::string EdgeLabel(std::uint64_t ns) {
+  char buf[32];
+  if (ns >= 1000000000ull && ns % 1000000000ull == 0) {
+    std::snprintf(buf, sizeof(buf), "%llus", static_cast<unsigned long long>(ns / 1000000000ull));
+  } else if (ns >= 1000000ull && ns % 1000000ull == 0) {
+    std::snprintf(buf, sizeof(buf), "%llums", static_cast<unsigned long long>(ns / 1000000ull));
+  } else if (ns >= 1000ull && ns % 1000ull == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluus", static_cast<unsigned long long>(ns / 1000ull));
+  } else if (ns >= 1048576ull) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1024ull) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluns", static_cast<unsigned long long>(ns));
+  }
+  return buf;
+}
+}  // namespace
+
+std::string Log2Histogram::Summary() const {
+  if (count_ == 0) return "(empty)";
+  std::string out;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[static_cast<std::size_t>(i)] == 0) continue;
+    if (!out.empty()) out += ' ';
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "[%s,%s):%llu",
+                  EdgeLabel(BucketLowerEdgeNs(i)).c_str(),
+                  EdgeLabel(i + 1 < kBuckets ? BucketLowerEdgeNs(i + 1) : ~0ull).c_str(),
+                  static_cast<unsigned long long>(buckets_[static_cast<std::size_t>(i)]));
+    out += buf;
+  }
+  return out;
+}
+
+void ReliabilityStats::Merge(const ReliabilityStats& other) {
+  program_failures_slc += other.program_failures_slc;
+  program_failures_normal += other.program_failures_normal;
+  erase_failures_slc += other.erase_failures_slc;
+  erase_failures_normal += other.erase_failures_normal;
+  reads_with_retry += other.reads_with_retry;
+  read_retries += other.read_retries;
+  rewrite_slots += other.rewrite_slots;
+  retired_blocks_slc += other.retired_blocks_slc;
+  retired_blocks_normal += other.retired_blocks_normal;
+  read_only_trips += other.read_only_trips;
+  recovery_time += other.recovery_time;
+  read_retry_hist.Merge(other.read_retry_hist);
+  redrive_hist.Merge(other.redrive_hist);
+}
+
 std::string ReliabilityStats::Summary() const {
   char buf[320];
   std::snprintf(

@@ -54,6 +54,52 @@ class LatencyHistogram {
   SimDuration max_;
 };
 
+/// Fixed-bucket power-of-two histogram over durations: bucket i counts
+/// samples with ns in [2^(i-1), 2^i); bucket 0 counts zero-length
+/// samples. 64 buckets cover the full uint64 nanosecond range in a flat
+/// 520-byte POD — cheap enough to live inside ReliabilityStats and be
+/// merged across shards. Coarser than LatencyHistogram on purpose:
+/// recovery events are rare and span six decades (a one-step read retry
+/// is ~50 us, a multi-unit re-drive can be tens of ms), so order-of-
+/// magnitude buckets are the readable unit.
+class Log2Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(SimDuration d) {
+    ++buckets_[static_cast<std::size_t>(BucketIndex(d.ns()))];
+    ++count_;
+    sum_ns_ += d.ns();
+  }
+  void Merge(const Log2Histogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ns_ += other.sum_ns_;
+  }
+  void Reset() { *this = Log2Histogram{}; }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t bucket(int i) const { return buckets_[static_cast<std::size_t>(i)]; }
+  SimDuration mean() const {
+    return count_ ? SimDuration::Nanos(sum_ns_ / count_) : SimDuration();
+  }
+  /// Inclusive lower edge of bucket i (0 for bucket 0, else 2^(i-1) ns).
+  static std::uint64_t BucketLowerEdgeNs(int i) {
+    return i == 0 ? 0 : 1ull << (i - 1);
+  }
+  static int BucketIndex(std::uint64_t ns);
+
+  /// Non-empty buckets as "[512us,1ms):12" pairs, or "(empty)".
+  std::string Summary() const;
+
+  bool operator==(const Log2Histogram&) const = default;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ns_ = 0;
+};
+
 /// Reliability accounting across the fault-injection and recovery paths.
 /// Owned by the media layer (FlashArray) and shared — by reference — with
 /// the allocators, the timing engine and the device, so every layer's
@@ -79,6 +125,14 @@ struct ReliabilityStats {
   /// Nominal simulated time spent on recovery work: burned program
   /// pulses, failed erases, and extra read-retry senses.
   SimDuration recovery_time;
+
+  // Per-event recovery duration distributions (ROADMAP: expose
+  // recovery-induced tail modes, not just the aggregate).
+  Log2Histogram read_retry_hist;  ///< Extra sense time per retried read.
+  Log2Histogram redrive_hist;     ///< Program time per re-drive/burn event.
+
+  /// Fold another device's stats into this one — shard aggregation.
+  void Merge(const ReliabilityStats& other);
 
   std::uint64_t TotalFaults() const {
     return program_failures_slc + program_failures_normal + erase_failures_slc +

@@ -30,5 +30,6 @@
 #include "ftl/translator.hpp"          // IWYU pragma: export
 #include "gc/slc_gc.hpp"               // IWYU pragma: export
 #include "legacy/legacy_device.hpp"    // IWYU pragma: export
+#include "shard/sharded_runner.hpp"    // IWYU pragma: export
 #include "workload/fio.hpp"            // IWYU pragma: export
 #include "zns/zone.hpp"                // IWYU pragma: export

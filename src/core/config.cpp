@@ -1,5 +1,6 @@
 #include "core/config.hpp"
 
+#include "common/rng.hpp"
 #include "core/zone_layout.hpp"
 
 namespace conzone {
@@ -58,6 +59,14 @@ ConZoneConfig ConZoneConfig::PaperConfig() {
   // unit, two 384 KiB write buffers, 12 KiB L2P cache, 3200 MiB/s
   // channels, 1.5 GB flash.
   return ConZoneConfig{};
+}
+
+ConZoneConfig ConZoneConfig::ForShard(std::uint32_t shard_id,
+                                      std::uint64_t master_seed) const {
+  ConZoneConfig out = *this;
+  if (shard_id == 0) return out;  // identity: 1-shard == single-device
+  out.fault.seed = MixSeeds(out.fault.seed, master_seed, shard_id);
+  return out;
 }
 
 }  // namespace conzone

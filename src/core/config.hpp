@@ -84,6 +84,12 @@ struct ConZoneConfig {
   /// 96 KiB programming unit (=> 384 KiB superpage), two shared 384 KiB
   /// write buffers, 1.5 GB flash, 12 KiB L2P cache, 3200 MiB/s channels.
   static ConZoneConfig PaperConfig();
+
+  /// Derive the configuration of shard `shard_id` in a sharded run: the
+  /// same device with a decorrelated fault-RNG stream. Shard 0 is the
+  /// identity — a 1-shard run is bit-identical to driving this config
+  /// directly. Deterministic in (this config, shard_id, master_seed).
+  ConZoneConfig ForShard(std::uint32_t shard_id, std::uint64_t master_seed) const;
 };
 
 }  // namespace conzone

@@ -62,6 +62,9 @@ ConZoneDevice::ConZoneDevice(const ConZoneConfig& config)
                          : 0) {
   runtime_.resize(cfg_.num_conventional_zones + layout_.num_zones());
   buffer_ready_.resize(cfg_.buffers.num_buffers, SimTime::Zero());
+  // Erase-count-aware allocation (ROADMAP wear leveling): steer SLC and
+  // conventional-pool allocation toward the least-worn superblocks.
+  pool_.AttachWearSource(&array_);
   if (fault_.enabled()) {
     array_.AttachFaultModel(&fault_);
     engine_.AttachReliability(&array_.mutable_reliability());
@@ -451,6 +454,7 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushExtent(BufferedExtent ext
         done.sram_free = Later(done.sram_free, burned.data_in);
         ReliabilityStats& rel = array_.mutable_reliability();
         rel.recovery_time += engine_.timing().For(geo.normal_cell).program_latency;
+        rel.redrive_hist.Record(engine_.timing().For(geo.normal_cell).program_latency);
         rel.rewrite_slots += data.size();
         redrive = true;
       } else {
@@ -863,6 +867,7 @@ SimTime ConZoneDevice::ChargeNormalBurns(SimTime issue) {
     done = Later(done,
                  engine_.Program(chip, geo.normal_cell, geo.program_unit, issue).data_in);
     rel.recovery_time += engine_.timing().For(geo.normal_cell).program_latency;
+    rel.redrive_hist.Record(engine_.timing().For(geo.normal_cell).program_latency);
     rel.rewrite_slots += geo.program_unit / geo.slot_size;
   }
   return done;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "flash/array.hpp"
+
 namespace conzone {
 
 SuperblockPool::SuperblockPool(const FlashGeometry& geometry,
@@ -19,13 +21,42 @@ SuperblockPool::SuperblockPool(const FlashGeometry& geometry,
   }
 }
 
+std::uint64_t SuperblockPool::EraseSum(SuperblockId sb) const {
+  if (wear_ == nullptr) return 0;
+  std::uint64_t sum = 0;
+  for (std::uint32_t c = 0; c < geo_.NumChips(); ++c) {
+    sum += wear_->EraseCount(geo_.BlockOfSuperblock(sb, ChipId{c}));
+  }
+  return sum;
+}
+
+SuperblockId SuperblockPool::PopLeastWorn(std::deque<SuperblockId>& free_list) {
+  if (wear_ == nullptr) {
+    SuperblockId sb = free_list.front();
+    free_list.pop_front();
+    return sb;
+  }
+  auto best = free_list.begin();
+  std::uint64_t best_wear = EraseSum(*best);
+  for (auto it = std::next(free_list.begin()); it != free_list.end(); ++it) {
+    const std::uint64_t wear = EraseSum(*it);
+    // Lexicographic (erase sum, id): deterministic regardless of the
+    // order releases happened to enqueue members.
+    if (wear < best_wear || (wear == best_wear && it->value() < best->value())) {
+      best = it;
+      best_wear = wear;
+    }
+  }
+  const SuperblockId sb = *best;
+  free_list.erase(best);
+  return sb;
+}
+
 Result<SuperblockId> SuperblockPool::AllocateNormal() {
   if (free_normal_.empty()) {
     return Status::ResourceExhausted("no free normal superblocks; GC required");
   }
-  SuperblockId sb = free_normal_.front();
-  free_normal_.pop_front();
-  return sb;
+  return PopLeastWorn(free_normal_);
 }
 
 Status SuperblockPool::ReleaseNormal(SuperblockId sb) {
@@ -45,9 +76,7 @@ Result<SuperblockId> SuperblockPool::AllocateSlc() {
   if (free_slc_.empty()) {
     return Status::ResourceExhausted("no free SLC superblocks; GC required");
   }
-  SuperblockId sb = free_slc_.front();
-  free_slc_.pop_front();
-  return sb;
+  return PopLeastWorn(free_slc_);
 }
 
 Status SuperblockPool::ReleaseSlc(SuperblockId sb) {

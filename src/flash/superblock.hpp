@@ -18,6 +18,8 @@
 
 namespace conzone {
 
+class FlashArray;
+
 class SuperblockPool {
  public:
   /// `normal_pool_count` limits the normal free list to the first that
@@ -26,8 +28,17 @@ class SuperblockPool {
   explicit SuperblockPool(const FlashGeometry& geometry,
                           std::uint32_t normal_pool_count = ~0u);
 
-  /// Take a free SLC superblock (FIFO order, which gives natural wear
-  /// leveling across the region).
+  /// Make allocation erase-count-aware: with a wear source attached,
+  /// Allocate{Slc,Normal} pick the free superblock with the lowest total
+  /// erase count (ties broken by lowest id — deterministic) instead of
+  /// FIFO order. FIFO only levels wear that the pool itself caused;
+  /// min-wear also corrects pre-existing imbalance (uneven retirement,
+  /// re-drive hotspots, factory-worn blocks) by steering churn away from
+  /// hot superblocks. `array` must outlive the pool.
+  void AttachWearSource(const FlashArray* array) { wear_ = array; }
+
+  /// Take a free SLC superblock: least-worn first when a wear source is
+  /// attached, else FIFO (which levels only self-inflicted wear).
   Result<SuperblockId> AllocateSlc();
 
   /// Return an erased SLC superblock to the free list.
@@ -49,10 +60,18 @@ class SuperblockPool {
   std::uint32_t TotalNormalCount() const { return geo_.NumNormalSuperblocks(); }
   bool IsFreeNormal(SuperblockId sb) const;
 
+  /// Sum of per-chip block erase counts for `sb` (0 without wear source).
+  std::uint64_t EraseSum(SuperblockId sb) const;
+
  private:
+  /// Pop FIFO front, or the (erase-sum, id)-minimal member when a wear
+  /// source is attached.
+  SuperblockId PopLeastWorn(std::deque<SuperblockId>& free_list);
+
   FlashGeometry geo_;
   std::deque<SuperblockId> free_slc_;
   std::deque<SuperblockId> free_normal_;
+  const FlashArray* wear_ = nullptr;
 };
 
 }  // namespace conzone

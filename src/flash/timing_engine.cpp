@@ -28,8 +28,10 @@ SimTime FlashTimingEngine::ReadPage(ChipId chip, CellType cell, std::uint64_t by
   const SimDuration sense_latency =
       timing_.For(cell).read_latency * static_cast<std::uint64_t>(1 + retries);
   if (retries > 0 && rel_ != nullptr) {
-    rel_->recovery_time +=
+    const SimDuration extra =
         timing_.For(cell).read_latency * static_cast<std::uint64_t>(retries);
+    rel_->recovery_time += extra;
+    rel_->read_retry_hist.Record(extra);
   }
 
   ResourceTimeline::Reservation sense;
@@ -143,8 +145,10 @@ FlashTimingEngine::ProgramResult ChargeSlcRewrites(FlashTimingEngine& engine,
   if (ppns.empty()) return FlashTimingEngine::ProgramResult{issue, issue};
   const auto prog = ProgramSlcSlots(engine, geo, ppns, issue);
   if (rel != nullptr) {
-    rel->recovery_time += engine.timing().For(CellType::kSlc).program_latency *
-                          static_cast<std::uint64_t>(ppns.size());
+    const SimDuration spent = engine.timing().For(CellType::kSlc).program_latency *
+                              static_cast<std::uint64_t>(ppns.size());
+    rel->recovery_time += spent;
+    rel->redrive_hist.Record(spent);
     rel->rewrite_slots += ppns.size();
   }
   return prog;

@@ -24,6 +24,7 @@ SuperblockId SlcGarbageCollector::SelectVictim() const {
   const FlashGeometry& geo = array_.geometry();
   SuperblockId best;
   std::uint64_t best_valid = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t best_erases = std::numeric_limits<std::uint64_t>::max();
   for (std::uint32_t s = 0; s < geo.NumSlcSuperblocks(); ++s) {
     const SuperblockId sb{s};
     if (sb == alloc_.current_superblock()) continue;
@@ -32,17 +33,24 @@ SuperblockId SlcGarbageCollector::SelectVictim() const {
     if (pool_.IsFreeSlc(sb)) continue;
     std::uint64_t valid = 0;
     std::uint64_t used = 0;
+    std::uint64_t erases = 0;
     std::uint32_t healthy = 0;
     for (std::uint32_t c = 0; c < geo.NumChips(); ++c) {
       const BlockId b = geo.BlockOfSuperblock(sb, ChipId{c});
       valid += array_.ValidSlots(b);
       used += array_.NextProgramSlot(b);
+      erases += array_.EraseCount(b);
       if (!array_.IsRetired(b)) ++healthy;
     }
     if (used == 0) continue;   // never written
     if (healthy == 0) continue;  // fully retired: nothing erasable to reclaim
-    if (valid < best_valid) {
+    // Lexicographic (valid, erase count, id): migration cost dominates;
+    // among equally cheap victims prefer the least-worn (collecting a
+    // victim erases it, so this steers erase load off hot superblocks),
+    // then the lowest id for determinism.
+    if (valid < best_valid || (valid == best_valid && erases < best_erases)) {
       best_valid = valid;
+      best_erases = erases;
       best = sb;
     }
   }

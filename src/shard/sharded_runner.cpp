@@ -1,0 +1,129 @@
+#include "shard/sharded_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "common/rng.hpp"
+
+namespace conzone {
+
+namespace {
+
+/// Per-shard slot a worker fills in; merged only after join.
+struct ShardOutcome {
+  Status status = Status::Ok();
+  ShardResult result;
+};
+
+ShardOutcome RunOneShard(const ShardPlan& plan, std::uint32_t shard_id) {
+  ShardOutcome out;
+  out.result.shard_id = shard_id;
+
+  const ConZoneConfig cfg = plan.config.ForShard(shard_id, plan.master_seed);
+  auto devr = ConZoneDevice::Create(cfg);
+  if (!devr.ok()) {
+    out.status = devr.status();
+    return out;
+  }
+  ConZoneDevice& dev = **devr;
+
+  SimTime start = SimTime::Zero();
+  if (plan.precondition_bytes > 0) {
+    Status st = FioRunner::Precondition(dev, 0, plan.precondition_bytes,
+                                        512 * kKiB, &start);
+    if (!st.ok()) {
+      out.status = std::move(st);
+      return out;
+    }
+  }
+
+  FioRunner fio(dev, plan.backend);
+  auto run = fio.Run(ShardedRunner::JobsForShard(plan, shard_id), start);
+  if (!run.ok()) {
+    out.status = run.status();
+    return out;
+  }
+  out.result.run = std::move(run).value();
+  out.result.reliability = dev.reliability();
+  out.result.device = dev.stats();
+  out.result.write_amplification = dev.WriteAmplification();
+  return out;
+}
+
+}  // namespace
+
+ShardedRunner::ShardedRunner(ShardPlan plan) : plan_(std::move(plan)) {}
+
+std::vector<JobSpec> ShardedRunner::JobsForShard(const ShardPlan& plan,
+                                                 std::uint32_t shard_id) {
+  std::vector<JobSpec> jobs = plan.jobs;
+  if (shard_id == 0) return jobs;  // identity: 1-shard == single-device
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    // Salt with the job index too: jobs sharing a template seed must not
+    // collapse into one stream on every shard.
+    jobs[j].seed = MixSeeds(jobs[j].seed + j, plan.master_seed, shard_id);
+  }
+  return jobs;
+}
+
+Result<ShardedResult> ShardedRunner::Run() {
+  if (plan_.shards == 0) {
+    return Status::InvalidArgument("sharded runner: need at least one shard");
+  }
+  const std::uint32_t shards = plan_.shards;
+  std::uint32_t threads = plan_.threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = std::min(shards, hw == 0 ? 1u : static_cast<std::uint32_t>(hw));
+  }
+  threads = std::min(threads, shards);
+
+  std::vector<ShardOutcome> outcomes(shards);
+  // Workers claim shard ids from an atomic counter. Which worker runs
+  // which shard is scheduling-dependent — but each outcome lands in its
+  // own preallocated slot, so the merge below never sees that.
+  std::atomic<std::uint32_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+      if (id >= shards) return;
+      outcomes[id] = RunOneShard(plan_, id);
+    }
+  };
+  if (threads <= 1) {
+    worker();  // in-line: zero thread overhead for the 1-thread case
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::uint32_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Merge after join, in shard-id order: deterministic for any thread
+  // count. Errors resolve to the lowest failing shard for the same
+  // reason.
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    if (!outcomes[i].status.ok()) return std::move(outcomes[i].status);
+  }
+  ShardedResult merged;
+  merged.shards.reserve(shards);
+  SimDuration longest;
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    ShardResult& s = outcomes[i].result;
+    merged.total.bytes += s.run.total.bytes;
+    merged.total.ops += s.run.total.ops;
+    longest = std::max(longest, s.run.total.elapsed);
+    merged.latency.Merge(s.run.latency);
+    merged.reliability.Merge(s.reliability);
+    merged.events += s.run.events;
+    merged.io_errors += s.run.io_errors;
+    merged.end_time = std::max(merged.end_time, s.run.end_time);
+    merged.shards.push_back(std::move(s));
+  }
+  merged.total.elapsed = longest;
+  return merged;
+}
+
+}  // namespace conzone

@@ -1,0 +1,99 @@
+// Sharded multi-device parallel runner — the scale-out half of the
+// engine (the timing wheel in src/sim is the scale-up half).
+//
+// A shard is a fully independent simulated device: its own
+// ConZoneConfig, its own fault-RNG stream, its own workload RNGs, its
+// own event queue. Shards share NOTHING mutable, which is what lets a
+// single process drive N of them on a thread pool without a single lock
+// on the simulation hot path — the only synchronization is an atomic
+// work-claim counter (off the hot path, once per shard) and the final
+// thread join.
+//
+// Determinism contract:
+//   * Each shard's entire run is a pure function of
+//     (plan.config, plan.jobs, plan.master_seed, shard_id): the shard's
+//     fault seed and job seeds are derived with MixSeeds, then the run
+//     is an ordinary single-threaded DES.
+//   * Results are written into a preallocated per-shard slot and merged
+//     in shard-id order AFTER all workers join. Thread count, scheduling
+//     order, and core count therefore cannot change any output bit —
+//     they only change wall-clock time.
+//   * Shard 0 is the identity derivation: a 1-shard plan reproduces the
+//     plain single-device FioRunner run bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "core/config.hpp"
+#include "core/device.hpp"
+#include "sim/event_queue.hpp"
+#include "workload/fio.hpp"
+
+namespace conzone {
+
+/// Everything needed to reproduce a sharded run.
+struct ShardPlan {
+  /// Template device configuration; shard i runs
+  /// config.ForShard(i, master_seed).
+  ConZoneConfig config;
+  /// Template job list, instantiated per shard with decorrelated seeds
+  /// (shard 0 keeps the template seeds unchanged).
+  std::vector<JobSpec> jobs;
+  std::uint32_t shards = 1;
+  /// Worker threads; 0 = min(shards, hardware_concurrency).
+  std::uint32_t threads = 0;
+  std::uint64_t master_seed = 1;
+  /// Sequentially fill [0, precondition_bytes) on each shard before the
+  /// measured jobs (read workloads need written media).
+  std::uint64_t precondition_bytes = 0;
+  EventQueue::Backend backend = EventQueue::Backend::kTimingWheel;
+};
+
+/// One shard's outcome, in full — kept per shard (not just merged) so
+/// callers can inspect fleet variance, e.g. fault-rate spread.
+struct ShardResult {
+  std::uint32_t shard_id = 0;
+  RunResult run;
+  ReliabilityStats reliability;
+  ConZoneStats device;
+  double write_amplification = 0.0;
+};
+
+/// Merge of all shards, in fixed shard-id order.
+struct ShardedResult {
+  std::vector<ShardResult> shards;
+  /// Summed bytes/ops; elapsed = the longest shard's simulated span
+  /// (shards run concurrently, so the fleet is done when the slowest
+  /// shard is).
+  Throughput total;
+  LatencyHistogram latency;       ///< Merged across all shards' jobs.
+  ReliabilityStats reliability;   ///< Merged (counters, histograms).
+  std::uint64_t events = 0;       ///< Simulator events executed, summed.
+  std::uint64_t io_errors = 0;
+  SimTime end_time;               ///< Max over shards.
+};
+
+class ShardedRunner {
+ public:
+  explicit ShardedRunner(ShardPlan plan);
+
+  /// Run every shard (on plan.threads workers) and merge. Any shard
+  /// error fails the whole run; the lowest-numbered failing shard's
+  /// status is returned (deterministic, unlike first-to-fail).
+  Result<ShardedResult> Run();
+
+  const ShardPlan& plan() const { return plan_; }
+
+  /// The job list shard `shard_id` actually runs (derived seeds).
+  /// Exposed for tests asserting the derivation contract.
+  static std::vector<JobSpec> JobsForShard(const ShardPlan& plan,
+                                           std::uint32_t shard_id);
+
+ private:
+  ShardPlan plan_;
+};
+
+}  // namespace conzone

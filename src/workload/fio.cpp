@@ -198,7 +198,7 @@ Result<RunResult> FioRunner::Run(const std::vector<JobSpec>& jobs, SimTime start
     states->push_back(std::move(js));
   }
 
-  EventQueue q;
+  EventQueue q(backend_);
   RunCtx ctx{*states, q};
   for (std::size_t i = 0; i < states->size(); ++i) {
     const std::uint32_t depth = (*states)[i].spec.iodepth;

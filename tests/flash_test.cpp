@@ -284,6 +284,77 @@ TEST(SuperblockPoolTest, NormalPoolIndependent) {
   EXPECT_FALSE(pool.ReleaseNormal(SuperblockId{0}).ok());  // SLC id
 }
 
+// Wear-aware allocation: FIFO only levels wear the pool itself caused —
+// a pre-worn superblock keeps its head start forever. With a wear source
+// attached, allocation steers churn to the least-worn members until the
+// imbalance closes.
+TEST(SuperblockPoolTest, WearAwareAllocationNarrowsEraseSpread) {
+  FlashGeometry geo = SmallGeo();
+  geo.slc_blocks_per_chip = 4;  // 4 SLC superblocks to level across
+
+  auto erase_superblock = [&](FlashArray& array, SuperblockId sb) {
+    for (std::uint32_t c = 0; c < geo.NumChips(); ++c) {
+      ASSERT_TRUE(array.EraseBlock(geo.BlockOfSuperblock(sb, ChipId{c})).ok());
+    }
+  };
+  auto spread = [&](const FlashArray& array) {
+    std::uint64_t lo = ~0ull, hi = 0;
+    for (std::uint32_t s = 0; s < geo.NumSlcSuperblocks(); ++s) {
+      std::uint64_t sum = 0;
+      for (std::uint32_t c = 0; c < geo.NumChips(); ++c) {
+        sum += array.EraseCount(geo.BlockOfSuperblock(SuperblockId{s}, ChipId{c}));
+      }
+      lo = std::min(lo, sum);
+      hi = std::max(hi, sum);
+    }
+    return hi - lo;
+  };
+
+  // Identical scenario under both policies: superblock 0 starts 10
+  // erases ahead (uneven history), then the pool churns 36 rounds of
+  // allocate → erase → release.
+  std::uint64_t final_spread[2];
+  for (const bool wear_aware : {false, true}) {
+    FlashArray array(geo);
+    SuperblockPool pool(geo);
+    if (wear_aware) pool.AttachWearSource(&array);
+    for (int i = 0; i < 10; ++i) {
+      erase_superblock(array, SuperblockId{0});
+    }
+    const std::uint64_t per_sb_wear = 10 * geo.NumChips();
+    EXPECT_EQ(spread(array), per_sb_wear);
+    for (int round = 0; round < 36; ++round) {
+      auto sb = pool.AllocateSlc();
+      ASSERT_TRUE(sb.ok());
+      erase_superblock(array, sb.value());
+      ASSERT_TRUE(pool.ReleaseSlc(sb.value()).ok());
+    }
+    final_spread[wear_aware ? 1 : 0] = spread(array);
+  }
+  // FIFO cycles everyone equally: the pre-worn head start survives
+  // untouched. Min-wear closes it to at most one erase cycle.
+  EXPECT_EQ(final_spread[0], 10 * geo.NumChips());
+  EXPECT_LE(final_spread[1], geo.NumChips());
+  EXPECT_LT(final_spread[1], final_spread[0]);
+}
+
+TEST(SuperblockPoolTest, WearTieBreaksByLowestIdNotReleaseOrder) {
+  const FlashGeometry geo = SmallGeo();
+  FlashArray array(geo);
+  SuperblockPool pool(geo);
+  pool.AttachWearSource(&array);
+  auto a = pool.AllocateSlc();
+  auto b = pool.AllocateSlc();
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Release in reverse id order; equal wear must still allocate the
+  // lowest id first (FIFO would hand back b).
+  ASSERT_TRUE(pool.ReleaseSlc(b.value()).ok());
+  ASSERT_TRUE(pool.ReleaseSlc(a.value()).ok());
+  auto again = pool.AllocateSlc();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), a.value());
+}
+
 // --- slc allocator ---
 
 TEST(SlcAllocatorTest, PageFillStripeOrder) {
