@@ -56,6 +56,16 @@ def main():
     if not cand:
         sys.exit(f"no {METRIC} entries in candidate {args.candidate}")
 
+    overlap = set(base) & set(cand)
+    if not overlap:
+        # Every comparison would be MISSING/NEW: the gate would "pass"
+        # while checking nothing. Treat as a setup error (stale baseline
+        # from a renamed suite, or mismatched files).
+        sys.exit(
+            f"no benchmark appears in both {args.baseline} and "
+            f"{args.candidate}; nothing to gate"
+        )
+
     regressed = []
     for name in sorted(base):
         if name not in cand:

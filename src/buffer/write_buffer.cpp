@@ -105,4 +105,13 @@ void WriteBufferPool::Discard(ZoneId zone) {
   }
 }
 
+std::uint64_t WriteBufferPool::DiscardAll() {
+  std::uint64_t lost = 0;
+  for (auto& b : buffers_) {
+    lost += b.slot_count();
+    b = BufferedExtent{};
+  }
+  return lost;
+}
+
 }  // namespace conzone

@@ -96,6 +96,10 @@ class WriteBufferPool {
   /// Drop any buffered data of `zone` without flushing (zone reset).
   void Discard(ZoneId zone);
 
+  /// Power cut: drop every buffer's content (SRAM is volatile). Returns
+  /// the number of 4 KiB slots destroyed, for RecoveryStats.
+  std::uint64_t DiscardAll();
+
   const WriteBufferStats& stats() const { return stats_; }
 
  private:

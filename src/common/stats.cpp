@@ -165,4 +165,42 @@ std::string ReliabilityStats::Summary() const {
   return buf;
 }
 
+void RecoveryStats::Merge(const RecoveryStats& other) {
+  power_cuts += other.power_cuts;
+  recoveries += other.recoveries;
+  buffered_slots_lost += other.buffered_slots_lost;
+  torn_program_slots += other.torn_program_slots;
+  unissued_program_slots += other.unissued_program_slots;
+  l2p_log_bytes_lost += other.l2p_log_bytes_lost;
+  resurrected_slots += other.resurrected_slots;
+  orphaned_slots += other.orphaned_slots;
+  scan_pages += other.scan_pages;
+  reerased_blocks += other.reerased_blocks;
+  replayed_mappings += other.replayed_mappings;
+  remount_time += other.remount_time;
+  remount_hist.Merge(other.remount_hist);
+}
+
+std::string RecoveryStats::Summary() const {
+  char buf[384];
+  std::snprintf(
+      buf, sizeof(buf),
+      "cuts=%llu lost=buf:%llu,torn:%llu,queued:%llu,log:%lluB "
+      "replayed=%llu resurrected=%llu orphaned=%llu scan_pages=%llu "
+      "reerased=%llu remount=%.1fms (mean %.1fms over %llu)",
+      static_cast<unsigned long long>(power_cuts),
+      static_cast<unsigned long long>(buffered_slots_lost),
+      static_cast<unsigned long long>(torn_program_slots),
+      static_cast<unsigned long long>(unissued_program_slots),
+      static_cast<unsigned long long>(l2p_log_bytes_lost),
+      static_cast<unsigned long long>(replayed_mappings),
+      static_cast<unsigned long long>(resurrected_slots),
+      static_cast<unsigned long long>(orphaned_slots),
+      static_cast<unsigned long long>(scan_pages),
+      static_cast<unsigned long long>(reerased_blocks), remount_time.ms(),
+      remount_hist.mean().ms(),
+      static_cast<unsigned long long>(remount_hist.count()));
+  return buf;
+}
+
 }  // namespace conzone

@@ -146,6 +146,37 @@ struct ReliabilityStats {
   std::string Summary() const;
 };
 
+/// Power-loss accounting: what each cut destroyed and what the remount
+/// pipeline did to bring the device back. Owned by the device; merged
+/// across shards like ReliabilityStats.
+struct RecoveryStats {
+  std::uint64_t power_cuts = 0;   ///< PowerCut() calls survived.
+  std::uint64_t recoveries = 0;   ///< Recover() remounts completed.
+
+  // Volatile state destroyed by the cut.
+  std::uint64_t buffered_slots_lost = 0;   ///< SRAM write-buffer slots dropped.
+  std::uint64_t torn_program_slots = 0;    ///< Programs in flight at the cut.
+  std::uint64_t unissued_program_slots = 0;///< Programs queued, never started.
+  std::uint64_t l2p_log_bytes_lost = 0;    ///< Unflushed/in-flight L2P log bytes.
+
+  // Remount pipeline work.
+  std::uint64_t resurrected_slots = 0;  ///< Old copies revived under torn supersedes.
+  std::uint64_t orphaned_slots = 0;     ///< Valid-but-unreachable slots invalidated.
+  std::uint64_t scan_pages = 0;         ///< OOB pages sensed by the mount scan.
+  std::uint64_t reerased_blocks = 0;    ///< Blocks re-erased after a torn erase.
+  std::uint64_t replayed_mappings = 0;  ///< L2P entries rebuilt from the scan.
+
+  /// Total simulated time spent remounting, and its per-event spread.
+  SimDuration remount_time;
+  Log2Histogram remount_hist;
+
+  /// Fold another device's stats into this one — shard aggregation.
+  void Merge(const RecoveryStats& other);
+
+  /// One-line "cuts=... lost=... replayed=... remount=..." summary.
+  std::string Summary() const;
+};
+
 /// Throughput over a measured interval.
 struct Throughput {
   std::uint64_t bytes = 0;

@@ -17,6 +17,7 @@
 #include "common/time.hpp"             // IWYU pragma: export
 #include "common/units.hpp"            // IWYU pragma: export
 #include "core/config.hpp"             // IWYU pragma: export
+#include "core/crash_checker.hpp"      // IWYU pragma: export
 #include "core/device.hpp"             // IWYU pragma: export
 #include "core/storage_device.hpp"     // IWYU pragma: export
 #include "core/zone_layout.hpp"        // IWYU pragma: export

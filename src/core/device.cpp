@@ -69,6 +69,7 @@ ConZoneDevice::ConZoneDevice(const ConZoneConfig& config)
     array_.AttachFaultModel(&fault_);
     engine_.AttachReliability(&array_.mutable_reliability());
   }
+  if (cfg_.fault.PowerLossEnabled()) array_.EnableJournal(true);
   gc_.set_remap_hook(
       [this](Lpn lpn, Ppn old_ppn, Ppn new_ppn) { OnGcRemap(lpn, old_ppn, new_ppn); });
   if (cfg_.num_conventional_zones > 0) {
@@ -124,8 +125,24 @@ void ConZoneDevice::ResetStats() {
 // Write path
 // ---------------------------------------------------------------------------
 
+Status ConZoneDevice::BeginHostOp(SimTime now) {
+  if (powered_off_) {
+    return Status::FailedPrecondition("device is powered off: call Recover() first");
+  }
+  if (last_submit_ < now) last_submit_ = now;
+  if (array_.JournalEnabled()) {
+    // A future cut can never precede this submission, so journal entries
+    // and log commits whose media window closed by `now` are permanently
+    // durable — forget them to keep both structures O(in-flight).
+    array_.PruneJournal(now);
+    l2p_log_.PruneCommits(now);
+  }
+  return Status::Ok();
+}
+
 Result<SimTime> ConZoneDevice::Write(std::uint64_t offset, std::uint64_t len, SimTime now,
                                      std::span<const std::uint64_t> tokens) {
+  if (Status st = BeginHostOp(now); !st.ok()) return st;
   if (div_slot_.Mod(offset) != 0 || div_slot_.Mod(len) != 0 || len == 0) {
     return Status::InvalidArgument("write must be 4 KiB aligned and non-empty");
   }
@@ -292,6 +309,7 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::StageSlots(
     cache_.Erase(L2pKey{MapGranularity::kPage, writes[k].lpn.value()});
   }
   l2p_log_.Append(writes.size());
+  array_.StampJournal(now, prog.end);
   zr.staged_end = ext_end;
   return done;
 }
@@ -320,6 +338,10 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::RedriveUnitToSlc(
     cache_.Erase(L2pKey{MapGranularity::kPage, writes[k].lpn.value()});
   }
   l2p_log_.Append(writes.size());
+  // Covers the re-driven SLC program plus any still-unstamped invalidates
+  // from the fold read-back that fed it (a burned one-shot pulse leaves
+  // no journal entry of its own).
+  array_.StampJournal(now, prog.end);
   // Part of the zone's nominally-normal range now lives in SLC: freeze
   // aggregation from here on (already-stamped chunks predate the failure
   // and are fully layout-resident, so they stay correct).
@@ -375,6 +397,7 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::ProgramPatchRun(
     }
   }
   l2p_log_.Append(data.size());
+  array_.StampJournal(now, prog.end);
   zr.patch_start = ppns.value()[0];
   zr.patch_contiguous = contiguous;
   zr.durable_normal_end = begin;
@@ -432,6 +455,14 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushExtent(BufferedExtent ext
       // The reserved block grew bad earlier (previous program or a failed
       // reset erase): nothing can program there, go straight to SLC.
       redrive = true;
+    } else if (array_.NextProgramSlot(loc.block) !=
+               loc.first_page_in_block * geo.SlotsPerPage()) {
+      // The block's cursor does not sit at this unit's layout position —
+      // a power cut tore a program here (the cursor is past its point of
+      // no return even though the slots came back invalid). The layout is
+      // fixed, so the unit re-drives into SLC; a zone reset erases the
+      // block and clears the skew.
+      redrive = true;
     } else {
       Status st = array_.ProgramSlots(loc.block, data);
       if (st.ok()) {
@@ -445,6 +476,9 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushExtent(BufferedExtent ext
           cache_.Erase(L2pKey{MapGranularity::kPage, data[k].lpn.value()});
         }
         l2p_log_.Append(data.size());
+        // One window for the fold's read-back invalidates and its
+        // program: both become durable when the one-shot pulse ends.
+        array_.StampJournal(now, prog.end);
       } else if (st.code() == StatusCode::kMediaError) {
         // The die still ran (and burned) the one-shot pulse; the layout is
         // fixed, so the unit cannot relocate within the zone's reserved
@@ -509,23 +543,29 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushExtent(BufferedExtent ext
   const SimTime logged = MaybeFlushL2pLog(done.sram_free);
   done.sram_free = Later(done.sram_free, logged);
   done.media_done = Later(done.media_done, logged);
+  media_horizon_ = Later(media_horizon_, done.media_done);
   return done;
 }
 
-SimTime ConZoneDevice::MaybeFlushL2pLog(SimTime now) {
+SimTime ConZoneDevice::MaybeFlushL2pLog(SimTime now, bool force) {
   SimTime t = now;
-  while (l2p_log_.NeedsFlush()) {
-    std::uint64_t bytes = l2p_log_.TakeFlushBytes();
+  while (l2p_log_.NeedsFlush() || (force && l2p_log_.pending_bytes() > 0)) {
+    const std::uint64_t bytes = l2p_log_.BeginFlush();
     // Program the accumulated records to metadata flash, one page-sized
     // chunk at a time, round-robin over the chips.
-    while (bytes > 0) {
-      const std::uint64_t chunk = std::min<std::uint64_t>(bytes, cfg_.geometry.page_size);
+    std::uint64_t left = bytes;
+    while (left > 0) {
+      const std::uint64_t chunk = std::min<std::uint64_t>(left, cfg_.geometry.page_size);
       const ChipId chip{l2p_log_chip_};
       l2p_log_chip_ = (l2p_log_chip_ + 1) % cfg_.geometry.NumChips();
       t = engine_.Program(chip, cfg_.map_media, chunk, t).end;
-      bytes -= chunk;
+      left -= chunk;
     }
+    // Commit only now that the program's media window is known: a cut
+    // racing the flush rolls the commit back instead of double-counting.
+    l2p_log_.CommitFlush(bytes, t);
   }
+  media_horizon_ = Later(media_horizon_, t);
   return t;
 }
 
@@ -654,6 +694,7 @@ void ConZoneDevice::OnGcRemap(Lpn lpn, Ppn old_ppn, Ppn new_ppn) {
 
 Result<SimTime> ConZoneDevice::Read(std::uint64_t offset, std::uint64_t len, SimTime now,
                                     std::vector<std::uint64_t>* tokens_out) {
+  if (Status st = BeginHostOp(now); !st.ok()) return st;
   const FlashGeometry& geo = cfg_.geometry;
   const std::uint64_t slot = geo.slot_size;
   if (div_slot_.Mod(offset) != 0 || div_slot_.Mod(len) != 0 || len == 0) {
@@ -774,6 +815,7 @@ Result<SimTime> ConZoneDevice::Read(std::uint64_t offset, std::uint64_t len, Sim
 // ---------------------------------------------------------------------------
 
 Result<SimTime> ConZoneDevice::ResetZone(ZoneId zone, SimTime now) {
+  if (Status st = BeginHostOp(now); !st.ok()) return st;
   if (!zone.valid() ||
       zone.value() >= cfg_.num_conventional_zones + layout_.num_zones()) {
     return Status::OutOfRange("reset of invalid zone");
@@ -804,7 +846,7 @@ Result<SimTime> ConZoneDevice::ResetZone(ZoneId zone, SimTime now) {
   const SimTime t0 = now + cfg_.request_overhead;
   SimTime done = t0;
   for (std::uint32_t k = 0; k < cfg_.superblocks_per_zone; ++k) {
-    const SuperblockId sb = layout_.SuperblockOfZone(zone, k);
+    const SuperblockId sb = layout_.SuperblockOfZone(SeqZone(zone), k);
     for (std::uint32_t c = 0; c < geo.NumChips(); ++c) {
       const BlockId b = geo.BlockOfSuperblock(sb, ChipId{c});
       if (array_.IsRetired(b)) {
@@ -825,10 +867,16 @@ Result<SimTime> ConZoneDevice::ResetZone(ZoneId zone, SimTime now) {
     }
   }
   runtime_[static_cast<std::size_t>(zone.value())] = ZoneRuntime{};
+  // One window for the reset's SLC invalidates and block erases: the
+  // erases were issued at t0 and the reset is durable once they finish.
+  array_.StampJournal(t0, done);
+  media_horizon_ = Later(media_horizon_, done);
   return done;
 }
 
 Result<SimTime> ConZoneDevice::Flush(SimTime now) {
+  if (Status st = BeginHostOp(now); !st.ok()) return st;
+  ++stats_.host_flushes;
   SimTime done = now;
   for (std::uint32_t b = 0; b < cfg_.buffers.num_buffers; ++b) {
     const WriteBufferId id{b};
@@ -839,6 +887,14 @@ Result<SimTime> ConZoneDevice::Flush(SimTime now) {
     buffer_ready_[b] = res.value().sram_free;
     done = Later(done, res.value().media_done);
   }
+  // Durability contract (FUA semantics): the acknowledgment may not race
+  // any program pulse still in flight — a buffer can be empty while its
+  // last background flush's pulse is still on the die, and that gap is
+  // exactly what a power cut between the two would expose. Then persist
+  // the sub-threshold L2P log tail so the mapping of everything acked
+  // here survives a cut too.
+  done = Later(done, media_horizon_);
+  done = MaybeFlushL2pLog(done, /*force=*/true);
   return done;
 }
 
@@ -971,6 +1027,9 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushConventionalExtent(
         return st;
       }
     }
+    // The unit's program and the overwrites it superseded share one
+    // durability window.
+    array_.StampJournal(now, prog.end);
     i += unit_slots;
   }
   // Sub-unit remainder: through the shared SLC secondary buffer. Under
@@ -993,6 +1052,7 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushConventionalExtent(
         return st;
       }
     }
+    array_.StampJournal(now, prog.end);
   }
 
   if (pool_.FreeNormalCount() < cfg_.gc.low_watermark) {
@@ -1010,6 +1070,7 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushConventionalExtent(
   const SimTime logged = MaybeFlushL2pLog(done.sram_free);
   done.sram_free = Later(done.sram_free, logged);
   done.media_done = Later(done.media_done, logged);
+  media_horizon_ = Later(media_horizon_, done.media_done);
   return done;
 }
 
@@ -1055,6 +1116,7 @@ Result<SimTime> ConZoneDevice::CollectConventional(SimTime now) {
     last_free = pool_.FreeNormalCount();
 
     // Read live slots (grouped per page), re-log them, erase, release.
+    const SimTime migrate_start = t;
     std::vector<SlotWrite> live;
     std::vector<Ppn> old_ppns;
     SimTime reads_done = t;
@@ -1123,6 +1185,12 @@ Result<SimTime> ConZoneDevice::CollectConventional(SimTime now) {
       i += data_count;
       stats_.conventional_gc_migrated += data_count;
     }
+    // Two-phase stamping (GC is not atomic under power loss): the
+    // migration — source invalidates plus re-log programs — closes when
+    // the last program pulse ends; the erases are stamped separately
+    // below with their true issue time, or a mid-GC cut would mislabel
+    // never-issued erases as torn and destroy restorable source data.
+    array_.StampJournal(migrate_start, t);
     SimTime erases = t;
     std::uint32_t healthy_erased = 0;
     for (std::uint32_t c = 0; c < geo.NumChips(); ++c) {
@@ -1142,6 +1210,7 @@ Result<SimTime> ConZoneDevice::CollectConventional(SimTime now) {
       array_.mutable_reliability().recovery_time +=
           engine_.timing().For(geo.normal_cell).erase_latency;
     }
+    array_.StampJournal(t, erases);
     t = erases;
     if (healthy_erased > 0) {
       if (Status st = pool_.ReleaseNormal(victim); !st.ok()) return st;
@@ -1169,6 +1238,7 @@ Result<SimTime> ConZoneDevice::EvictConventionalFromSlc(std::vector<SlotWrite> s
             static_cast<std::ptrdiff_t>(std::min(i + unit_slots, slots.size())));
     const std::size_t data_count = unit.size();
     unit.resize(unit_slots, SlotWrite{Lpn::Invalid(), 0});
+    const SimTime issue = t;
     auto res = conv_alloc_.ProgramUnit(unit);
     if (!res.ok()) return res.status();
     if (!conv_alloc_.last_failed_chips().empty()) {
@@ -1187,6 +1257,7 @@ Result<SimTime> ConZoneDevice::EvictConventionalFromSlc(std::vector<SlotWrite> s
         if (Status st = array_.InvalidateSlot(ppn); !st.ok()) return st;
       }
     }
+    array_.StampJournal(issue, t);
     i += data_count;
   }
   return t;
@@ -1206,11 +1277,15 @@ Result<SimTime> ConZoneDevice::ResetConventionalZone(ZoneId zone, SimTime now) {
     table_.Unmap(lpn);
   }
   cache_.InvalidateLpnRange(zbase, LpnsPerZone());
-  // No erase here: the pool's blocks are shared; GC reclaims them.
+  // No erase here: the pool's blocks are shared; GC reclaims them. The
+  // invalidates are controller metadata; they become cut-proof once the
+  // reset is acknowledged.
+  array_.StampJournal(now, now + cfg_.request_overhead);
   return now + cfg_.request_overhead;
 }
 
 Result<SimTime> ConZoneDevice::FinishZone(ZoneId zone, SimTime now) {
+  if (Status st = BeginHostOp(now); !st.ok()) return st;
   if (!zone.valid() ||
       zone.value() >= cfg_.num_conventional_zones + layout_.num_zones()) {
     return Status::OutOfRange("finish of invalid zone");
@@ -1231,6 +1306,254 @@ Result<SimTime> ConZoneDevice::FinishZone(ZoneId zone, SimTime now) {
   }
   if (Status st = zones_.Finish(zone); !st.ok()) return st;
   return done;
+}
+
+// ---------------------------------------------------------------------------
+// Power loss and crash-consistent recovery
+// ---------------------------------------------------------------------------
+
+Status ConZoneDevice::PowerCut(SimTime cut_time) {
+  if (!array_.JournalEnabled()) {
+    return Status::FailedPrecondition(
+        "power loss not enabled (set fault.power_loss before Create)");
+  }
+  if (powered_off_) {
+    return Status::FailedPrecondition("device is already powered off");
+  }
+  if (cut_time < last_submit_) {
+    return Status::InvalidArgument("power cut precedes the last host submission");
+  }
+  ++recovery_.power_cuts;
+  // Media first: every batch whose program window had not closed at the
+  // cut rolls back per the journal's point-of-no-return rule.
+  FlashArray::PowerCutReport rep = array_.ApplyPowerCut(cut_time);
+  recovery_.torn_program_slots += rep.torn_program_slots;
+  recovery_.unissued_program_slots += rep.unissued_program_slots;
+  recovery_.resurrected_slots += rep.resurrected_slots;
+  reerase_pending_ = std::move(rep.reerase);
+  // Volatile controller state dies with the SRAM: buffered host data and
+  // the unflushed (or in-flight) L2P log tail.
+  recovery_.buffered_slots_lost += buffers_.DiscardAll();
+  recovery_.l2p_log_bytes_lost += l2p_log_.DropVolatile(cut_time);
+  powered_off_ = true;
+  return Status::Ok();
+}
+
+Result<SimTime> ConZoneDevice::RecoverReeraseTorn(std::span<const BlockId> blocks,
+                                                  SimTime now) {
+  const FlashGeometry& geo = cfg_.geometry;
+  SimTime done = now;
+  for (const BlockId b : blocks) {
+    if (array_.IsRetired(b)) continue;
+    const CellType cell = geo.CellOfBlock(b);
+    Status st = array_.EraseBlock(b);
+    done = Later(done, engine_.Erase(geo.ChipOfBlock(b), cell, now));
+    if (!st.ok()) {
+      if (st.code() != StatusCode::kMediaError) return st;
+      array_.ScrubBlock(b);
+      array_.mutable_reliability().recovery_time +=
+          engine_.timing().For(cell).erase_latency;
+    }
+    ++recovery_.reerased_blocks;
+  }
+  return done;
+}
+
+Result<SimTime> ConZoneDevice::RecoverScanMedia(SimTime now) {
+  const FlashGeometry& geo = cfg_.geometry;
+  table_.ClearAllForMount();
+  std::uint64_t mapped = 0;
+  SimTime done = now;
+  for (std::uint64_t bi = 0; bi < geo.TotalBlocks(); ++bi) {
+    const BlockId b{bi};
+    const std::uint32_t used = array_.NextProgramSlot(b);
+    if (used == 0) continue;
+    const ChipId chip = geo.ChipOfBlock(b);
+    const CellType cell = geo.CellOfBlock(b);
+    // One OOB sense per used page; pages of one block are sequential on
+    // the chip, blocks on different chips overlap via the timelines.
+    const std::uint32_t used_pages =
+        (used + geo.SlotsPerPage() - 1) / geo.SlotsPerPage();
+    SimTime block_done = now;
+    for (std::uint32_t p = 0; p < used_pages; ++p) {
+      array_.CountPageRead();
+      block_done = engine_.ReadPage(chip, cell, geo.page_size, block_done);
+      ++recovery_.scan_pages;
+    }
+    done = Later(done, block_done);
+    for (std::uint32_t s = 0; s < used; ++s) {
+      const Ppn ppn =
+          geo.SlotAt(geo.PageAt(b, s / geo.SlotsPerPage()), s % geo.SlotsPerPage());
+      // PeekSlot: the mount scan charges timing above but never draws
+      // from the fault RNG — a cut/recover cycle must not perturb the
+      // fault sequence of later host IO.
+      const SlotRead r = array_.PeekSlot(ppn);
+      if (r.state != SlotState::kValid) continue;
+      if (!r.lpn.valid()) continue;  // alignment padding never maps
+      if (table_.Get(r.lpn).mapped()) {
+        return Status::Internal("mount scan found two valid copies of lpn " +
+                                std::to_string(r.lpn.value()));
+      }
+      table_.Set(r.lpn, ppn);
+      ++mapped;
+    }
+  }
+  recovery_.replayed_mappings += mapped;
+  return done;
+}
+
+Status ConZoneDevice::RecoverZone(ZoneId zone) {
+  const FlashGeometry& geo = cfg_.geometry;
+  ZoneRuntime& zr = runtime_[static_cast<std::size_t>(zone.value())];
+  zr = ZoneRuntime{};
+  const Lpn zbase = ZoneBaseLpn(zone);
+  const std::uint64_t slot = geo.slot_size;
+  const std::uint64_t unit_lpns = geo.program_unit / slot;
+  const std::uint64_t normal_lpns = layout_.normal_bytes() / slot;
+  const std::uint64_t zone_lpns = LpnsPerZone();
+
+  // 1. Durable normal prefix: whole one-shot units fully mapped from unit
+  //    0 upward. A unit counts even when its slots were re-driven into
+  //    SLC — the zone simply comes back degraded, like after a live
+  //    program failure.
+  std::uint64_t u = 0;
+  bool degraded = false;
+  for (; u < normal_lpns / unit_lpns; ++u) {
+    bool full = true;
+    bool off_layout = false;
+    for (std::uint64_t k = 0; k < unit_lpns; ++k) {
+      const std::uint64_t rel = u * unit_lpns + k;
+      const MapEntry e = table_.Get(Lpn(zbase.value() + rel));
+      if (!e.mapped()) {
+        full = false;
+        break;
+      }
+      if (e.ppn != layout_.NormalSlot(SeqZone(zone), rel * slot)) off_layout = true;
+    }
+    if (!full) break;
+    degraded |= off_layout;
+  }
+  zr.durable_normal_end = u * geo.program_unit;
+  zr.degraded = degraded;
+
+  // 2. Contiguous staged run beyond the durable prefix (SLC staging and,
+  //    on a complete zone, the patch).
+  std::uint64_t s = u * unit_lpns;
+  while (s < zone_lpns && table_.Get(Lpn(zbase.value() + s)).mapped()) ++s;
+  zr.staged_end = s * slot;
+
+  // 3. Orphans: mapped islands beyond the reconciled write pointer are
+  //    unreachable under zone semantics. They are always unacknowledged
+  //    data — a host Flush waits for every outstanding pulse, so durable
+  //    content can never strand behind a hole. Drop them.
+  for (std::uint64_t k = s; k < zone_lpns; ++k) {
+    const Lpn lpn = Lpn(zbase.value() + k);
+    const MapEntry e = table_.Get(lpn);
+    if (!e.mapped()) continue;
+    if (array_.StateOfSlot(e.ppn) == SlotState::kValid) {
+      if (Status st = array_.InvalidateSlot(e.ppn); !st.ok()) return st;
+    }
+    table_.Unmap(lpn);
+    ++recovery_.orphaned_slots;
+  }
+
+  // 4. §III-E patch contiguity, rechecked against the stripe layout so
+  //    aggregated reads stay sound after the remount.
+  if (zr.staged_end == cfg_.zone_size_bytes && layout_.patch_bytes() > 0) {
+    const MapEntry first = table_.Get(Lpn(zbase.value() + normal_lpns));
+    bool contiguous = first.mapped();
+    for (std::uint64_t k = 1; contiguous && k < zone_lpns - normal_lpns; ++k) {
+      const MapEntry e = table_.Get(Lpn(zbase.value() + normal_lpns + k));
+      auto expect = layout_.StripeAdvance(first.ppn, k);
+      if (!expect || !e.mapped() || e.ppn != *expect) contiguous = false;
+    }
+    zr.patch_start = first.ppn;
+    zr.patch_contiguous = contiguous;
+  }
+
+  // 5. Re-stamp aggregation from scratch over the recovered durable state.
+  UpdateAggregation(zone, zr);
+
+  // 6. Host-visible zone state from the reconciled write pointer (ZNS
+  //    after unexpected power off: EMPTY, CLOSED or FULL only).
+  zones_.RestoreAtMount(zone, zr.staged_end);
+  return Status::Ok();
+}
+
+Result<SimTime> ConZoneDevice::Recover(SimTime now) {
+  if (!powered_off_) {
+    return Status::FailedPrecondition("device is not powered off");
+  }
+  // Recovery's own media mutations are the new durable baseline, not
+  // undoable state (a second cut during the remount is not modeled).
+  array_.PauseJournal(true);
+  auto fail = [&](Status st) -> Result<SimTime> {
+    array_.PauseJournal(false);
+    return st;
+  };
+
+  // 1. Torn erases left untrusted cells: run a real erase (wear and
+  //    possible faults included) before anything can program there.
+  auto re = RecoverReeraseTorn(reerase_pending_, now);
+  if (!re.ok()) return fail(re.status());
+  reerase_pending_.clear();
+  SimTime t = re.value();
+
+  // 2. OOB scan: rebuild the page-granularity L2P table from media,
+  //    replaying what the lost log tail described.
+  auto sc = RecoverScanMedia(t);
+  if (!sc.ok()) return fail(sc.status());
+  t = sc.value();
+
+  // 3. The L2P cache died with the SRAM. Clear it before reconciliation
+  //    re-pins aggregated entries.
+  const std::uint32_t num_zones = cfg_.num_conventional_zones + layout_.num_zones();
+  cache_.InvalidateLpnRange(Lpn(0),
+                            static_cast<std::uint64_t>(num_zones) * LpnsPerZone());
+
+  // 4. Per-zone reconciliation: write pointers, staging extents,
+  //    aggregation, orphan slots.
+  for (std::uint32_t z = 0; z < num_zones; ++z) {
+    const ZoneId zone{z};
+    if (IsConventional(zone)) {
+      // In-place region: no write pointer to reconcile; validity comes
+      // from the rebuilt mapping alone.
+      runtime_[z] = ZoneRuntime{};
+      zones_.RestoreAtMount(zone, 0);
+      continue;
+    }
+    if (Status st = RecoverZone(zone); !st.ok()) return fail(st);
+  }
+  zones_.RecountAfterMount();
+
+  // 5. Allocators and free lists from the surviving media state.
+  pool_.RebuildFreeLists(array_);
+  slc_alloc_.Remount();
+  conv_alloc_.Remount();
+  read_only_ = array_.HealthySlcBlocks() < cfg_.fault.read_only_spare_floor_blocks;
+
+  // 6. Counters must reconcile: every mapped LPN points at exactly one
+  //    valid slot and every valid slot is mapped.
+  std::uint64_t valid = 0;
+  for (std::uint64_t b = 0; b < cfg_.geometry.TotalBlocks(); ++b) {
+    valid += array_.ValidSlots(BlockId{b});
+  }
+  if (valid != table_.mapped_count()) {
+    return fail(Status::Internal(
+        "recovery reconcile failed: " + std::to_string(valid) +
+        " valid slots vs " + std::to_string(table_.mapped_count()) +
+        " mapped lpns"));
+  }
+
+  for (SimTime& br : buffer_ready_) br = t;
+  media_horizon_ = t;
+  last_submit_ = t;
+  powered_off_ = false;
+  ++recovery_.recoveries;
+  recovery_.remount_time += t - now;
+  recovery_.remount_hist.Record(t - now);
+  array_.PauseJournal(false);
+  return t;
 }
 
 }  // namespace conzone

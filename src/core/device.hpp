@@ -58,6 +58,7 @@ struct ConZoneStats {
   std::uint64_t writes = 0;
   std::uint64_t reads = 0;
   std::uint64_t zone_resets = 0;
+  std::uint64_t host_flushes = 0;  ///< Explicit host Flush/FUA commands.
   std::uint64_t flushes = 0;
   std::uint64_t premature_flushes = 0;  ///< Flushes that staged data to SLC.
   std::uint64_t conflict_flushes = 0;   ///< Forced by zone-buffer conflicts.
@@ -90,6 +91,29 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
   Result<SimTime> FinishZone(ZoneId zone, SimTime now);
   Status OpenZone(ZoneId zone) { return zones_.ExplicitOpen(zone); }
   Status CloseZone(ZoneId zone) { return zones_.Close(zone); }
+
+  // --- Power loss (requires fault.power_loss / a cut schedule) ---
+
+  /// Cut power at simulated time `cut_time`. All volatile state dies:
+  /// write-buffer SRAM, the unflushed (or in-flight) L2P log tail, the
+  /// L2P cache, and every media batch whose program had not completed on
+  /// the die — per the journal's point-of-no-return rule (see
+  /// FlashArray). `cut_time` must not precede the last host submission
+  /// (the device cannot retroactively lose an op it has not issued yet).
+  /// After PowerCut only Recover() is accepted.
+  Status PowerCut(SimTime cut_time);
+
+  /// Remount after a cut: re-erase torn blocks, scan used blocks' OOB to
+  /// rebuild the L2P table (replaying the lost log), reconcile every
+  /// zone's write pointer with durable content, drop unreachable orphan
+  /// slots, rebuild free lists / allocators, and recompute read-only
+  /// state. Returns the simulated remount completion time; the device
+  /// accepts host ops again from then on.
+  Result<SimTime> Recover(SimTime now);
+
+  /// True between PowerCut() and a successful Recover().
+  bool powered_off() const { return powered_off_; }
+  const RecoveryStats& recovery_stats() const { return recovery_; }
 
   // --- Introspection (tests, benches, examples) ---
   const ConZoneConfig& config() const { return cfg_; }
@@ -201,7 +225,23 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
 
   /// §III-E extension: flush the L2P log to metadata flash when it is
   /// full; the caller's operation blocks until the program completes.
-  SimTime MaybeFlushL2pLog(SimTime now);
+  /// With `force`, also drains a below-threshold tail (host Flush/FUA).
+  SimTime MaybeFlushL2pLog(SimTime now, bool force = false);
+
+  /// Host-op prologue: refuse ops while powered off, advance the
+  /// last-submission watermark, and prune journal/log state that a
+  /// future cut can no longer reach.
+  Status BeginHostOp(SimTime now);
+
+  // --- Power-loss recovery pipeline (Recover() stages) ---
+  /// Re-erase blocks whose erase was torn by the cut.
+  Result<SimTime> RecoverReeraseTorn(std::span<const BlockId> blocks, SimTime now);
+  /// OOB scan of all used blocks: rebuild the page-granularity mapping.
+  /// Returns the scan completion time.
+  Result<SimTime> RecoverScanMedia(SimTime now);
+  /// Reconcile one zone: write pointer, staging extents, aggregation,
+  /// orphan slots. `zone` is a sequential zone id.
+  Status RecoverZone(ZoneId zone);
 
   // --- Conventional zones (§III-E extension) ---
   bool IsConventional(ZoneId zone) const {
@@ -252,6 +292,20 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
   std::vector<SimTime> buffer_ready_;  ///< Per-buffer flush completion.
   ConZoneStats stats_;
   bool read_only_ = false;  ///< Latched by InReadOnly(); reads still serve.
+
+  // --- Power-loss state ---
+  bool powered_off_ = false;
+  /// Latest host submission time seen; a PowerCut may not precede it,
+  /// which is also what lets the journal prune entries older than it.
+  SimTime last_submit_;
+  /// Max media completion time of any program issued so far. Flush must
+  /// wait for it: a buffer can be empty while its last background
+  /// flush's pulse is still in flight, and durability means the pulse
+  /// ended (that gap is exactly what a cut between the two exposes).
+  SimTime media_horizon_;
+  /// Blocks whose erase the last cut tore; Recover() re-erases them.
+  std::vector<BlockId> reerase_pending_;
+  RecoveryStats recovery_;
 
   /// One flash page touched by a read request and the slots it serves.
   struct PageGroup {

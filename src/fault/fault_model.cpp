@@ -1,5 +1,7 @@
 #include "fault/fault_model.hpp"
 
+#include <cmath>
+
 namespace conzone {
 
 namespace {
@@ -53,7 +55,22 @@ Status FaultConfig::Validate() const {
 }
 
 FaultModel::FaultModel(const FaultConfig& config)
-    : cfg_(config), rng_(config.seed), enabled_(config.AnyFaults()) {}
+    : cfg_(config),
+      rng_(config.seed),
+      cut_rng_(MixSeeds(config.seed, 0x50C0FFEEull, 0xC07ull)),
+      enabled_(config.AnyFaults()) {}
+
+SimTime FaultModel::NextCutAfter(SimTime t) {
+  // Exponential inter-arrival, quantized to >= 1 ns so the schedule
+  // always makes progress.
+  const double mean = static_cast<double>(cfg_.power_cut_mean_interval_ns);
+  const double u = cut_rng_.NextDouble();  // [0, 1)
+  const double gap = -mean * std::log(1.0 - u);
+  const std::uint64_t ns =
+      gap < 1.0 ? 1ull
+                : static_cast<std::uint64_t>(gap < 9.2e18 ? gap : 9.2e18);
+  return t + SimDuration::Nanos(ns);
+}
 
 double FaultModel::WearMultiplier(std::uint32_t erase_count) const {
   if (cfg_.rated_endurance == 0 || erase_count <= cfg_.rated_endurance) return 1.0;

@@ -24,6 +24,7 @@
 
 #include "common/rng.hpp"
 #include "common/status.hpp"
+#include "common/time.hpp"
 
 namespace conzone {
 
@@ -63,6 +64,21 @@ struct FaultConfig {
   /// number of healthy (non-retired) SLC blocks falls below this floor.
   /// Default: two superblocks' worth on the paper geometry (2ch x 2chips).
   std::uint32_t read_only_spare_floor_blocks = 8;
+
+  // --- Power loss ---
+  /// Enable power-loss emulation: the device journals media mutations so
+  /// PowerCut()/Recover() work. Orthogonal to the fault rates above —
+  /// a pure power-loss config draws no fault RNG.
+  bool power_loss = false;
+  /// Mean interval of a random power-cut schedule (exponential,
+  /// deterministic in `seed` via a private decorrelated stream);
+  /// 0 = no scheduled cuts. A non-zero interval implies power_loss.
+  std::uint64_t power_cut_mean_interval_ns = 0;
+
+  /// True when power-loss emulation should be active.
+  bool PowerLossEnabled() const {
+    return power_loss || power_cut_mean_interval_ns > 0;
+  }
 
   /// True when any fault class can fire — the hot-path gate.
   bool AnyFaults() const {
@@ -108,12 +124,24 @@ class FaultModel {
 
   const FaultCounters& counters() const { return counters_; }
 
+  // --- Power-cut stream ---
+  /// Whether the random cut schedule is configured.
+  bool cut_stream_enabled() const {
+    return cfg_.power_cut_mean_interval_ns > 0;
+  }
+  /// Next scheduled cut strictly after `t`, exponentially distributed
+  /// with the configured mean. Draws from a private RNG stream
+  /// (decorrelated from the fault draws) so enabling cuts does not shift
+  /// the fault sequence of an otherwise identical run.
+  SimTime NextCutAfter(SimTime t);
+
  private:
   double WearMultiplier(std::uint32_t erase_count) const;
   const FaultRates& For(bool slc) const { return slc ? cfg_.slc : cfg_.normal; }
 
   FaultConfig cfg_;
   Rng rng_{0};
+  Rng cut_rng_{0};
   FaultCounters counters_;
   bool enabled_ = false;
 };

@@ -87,6 +87,14 @@ Status FlashArray::ProgramSlots(BlockId block, std::span<const SlotWrite> writes
                               (slc ? "slc" : "normal") + "); block retired");
   }
 
+  if (JournalActive()) {
+    JournalEntry e;
+    e.kind = JournalEntry::Kind::kProgram;
+    e.block = block;
+    e.first_slot = meta.next_slot;
+    e.count = static_cast<std::uint32_t>(writes.size());
+    journal_.push_back(std::move(e));
+  }
   for (std::size_t i = 0; i < writes.size(); ++i) {
     Slot& s = slots_[static_cast<std::size_t>(base + i)];
     assert(s.state == SlotState::kFree && "sequential cursor points at non-free slot");
@@ -134,6 +142,12 @@ Status FlashArray::InvalidateSlot(Ppn ppn) {
     return Status::FailedPrecondition("invalidate: slot " + std::to_string(ppn.value()) +
                                       " is not valid");
   }
+  if (JournalActive()) {
+    JournalEntry e;
+    e.kind = JournalEntry::Kind::kInvalidate;
+    e.ppn = ppn;
+    journal_.push_back(std::move(e));
+  }
   s.state = SlotState::kInvalid;
   BlockMeta& meta = blocks_[static_cast<std::size_t>(geo_.BlockOfSlot(ppn).value())];
   assert(meta.valid_slots > 0);
@@ -170,6 +184,15 @@ Status FlashArray::EraseBlock(BlockId block) {
   const std::uint64_t slots_per_block =
       static_cast<std::uint64_t>(geo_.pages_per_block) * geo_.SlotsPerPage();
   const std::uint64_t base = block.value() * slots_per_block;
+  if (JournalActive()) {
+    JournalEntry e;
+    e.kind = JournalEntry::Kind::kErase;
+    e.block = block;
+    e.prior_meta = meta;
+    e.image.assign(slots_.begin() + static_cast<std::ptrdiff_t>(base),
+                   slots_.begin() + static_cast<std::ptrdiff_t>(base + slots_per_block));
+    journal_.push_back(std::move(e));
+  }
   for (std::uint64_t i = 0; i < slots_per_block; ++i) {
     slots_[static_cast<std::size_t>(base + i)] = Slot{};
   }
@@ -243,6 +266,106 @@ std::uint32_t FlashArray::ValidSlots(BlockId block) const {
 
 std::uint32_t FlashArray::EraseCount(BlockId block) const {
   return blocks_[static_cast<std::size_t>(block.value())].erase_count;
+}
+
+SlotRead FlashArray::PeekSlot(Ppn ppn) const {
+  SlotRead out;
+  if (ppn.value() >= geo_.TotalSlots()) return out;
+  const Slot& s = slots_[SlotIndex(ppn)];
+  out.state = s.state;
+  out.lpn = s.lpn;
+  out.token = s.token;
+  return out;
+}
+
+void FlashArray::StampJournal(SimTime start, SimTime end) {
+  // Unstamped entries always form a suffix: every batch stamps its own
+  // entries before the next batch appends any.
+  for (auto it = journal_.rbegin(); it != journal_.rend() && !it->stamped; ++it) {
+    it->stamped = true;
+    it->start = start;
+    it->end = end;
+  }
+}
+
+void FlashArray::PruneJournal(SimTime horizon) {
+  while (!journal_.empty() && journal_.front().stamped &&
+         journal_.front().end <= horizon) {
+    journal_.pop_front();
+  }
+}
+
+void FlashArray::UndoProgram(const JournalEntry& e, SimTime cut,
+                             PowerCutReport& report) {
+  if (e.stamped && e.end <= cut) return;  // durable
+  const std::uint64_t slots_per_block =
+      static_cast<std::uint64_t>(geo_.pages_per_block) * geo_.SlotsPerPage();
+  const std::uint64_t base = e.block.value() * slots_per_block + e.first_slot;
+  BlockMeta& meta = blocks_[static_cast<std::size_t>(e.block.value())];
+  for (std::uint32_t i = 0; i < e.count; ++i) {
+    Slot& s = slots_[static_cast<std::size_t>(base + i)];
+    if (s.state == SlotState::kValid) {
+      s.state = SlotState::kInvalid;
+      assert(meta.valid_slots > 0);
+      meta.valid_slots--;
+    }
+  }
+  if (e.stamped && e.start <= cut) {
+    report.torn_program_slots += e.count;
+  } else {
+    report.unissued_program_slots += e.count;
+  }
+}
+
+void FlashArray::UndoInvalidate(const JournalEntry& e, SimTime cut,
+                                PowerCutReport& report) {
+  if (e.stamped && e.end <= cut) return;  // the superseding batch is durable
+  Slot& s = slots_[SlotIndex(e.ppn)];
+  // The slot may no longer be kInvalid: a durable erase of its block
+  // implies the superseding batch was durable too, so we never get here
+  // with a freed slot; a restored erase pre-image puts it back kInvalid.
+  if (s.state != SlotState::kInvalid) return;
+  s.state = SlotState::kValid;
+  blocks_[static_cast<std::size_t>(geo_.BlockOfSlot(e.ppn).value())].valid_slots++;
+  report.resurrected_slots++;
+}
+
+void FlashArray::UndoErase(JournalEntry& e, SimTime cut, PowerCutReport& report) {
+  if (e.stamped && e.end <= cut) return;  // durable
+  if (e.stamped && e.start <= cut) {
+    // In flight at the cut: the cells are half-erased and untrusted.
+    // The block stays erased in the model; recovery must run a real
+    // erase (wear + possible fault) before reuse.
+    report.reerase.push_back(e.block);
+    return;
+  }
+  const std::uint64_t slots_per_block =
+      static_cast<std::uint64_t>(geo_.pages_per_block) * geo_.SlotsPerPage();
+  const std::uint64_t base = e.block.value() * slots_per_block;
+  for (std::uint64_t i = 0; i < slots_per_block; ++i) {
+    slots_[static_cast<std::size_t>(base + i)] = e.image[static_cast<std::size_t>(i)];
+  }
+  blocks_[static_cast<std::size_t>(e.block.value())] = e.prior_meta;
+  report.restored_erases++;
+}
+
+FlashArray::PowerCutReport FlashArray::ApplyPowerCut(SimTime cut) {
+  PowerCutReport report;
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    switch (it->kind) {
+      case JournalEntry::Kind::kProgram:
+        UndoProgram(*it, cut, report);
+        break;
+      case JournalEntry::Kind::kInvalidate:
+        UndoInvalidate(*it, cut, report);
+        break;
+      case JournalEntry::Kind::kErase:
+        UndoErase(*it, cut, report);
+        break;
+    }
+  }
+  journal_.clear();
+  return report;
 }
 
 }  // namespace conzone

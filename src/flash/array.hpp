@@ -19,12 +19,14 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <span>
 #include <vector>
 
 #include "common/ids.hpp"
 #include "common/stats.hpp"
 #include "common/status.hpp"
+#include "common/time.hpp"
 #include "fault/fault_model.hpp"
 #include "flash/geometry.hpp"
 
@@ -133,6 +135,77 @@ class FlashArray {
   const ReliabilityStats& reliability() const { return rel_; }
   ReliabilityStats& mutable_reliability() { return rel_; }
 
+  // --- Power loss ---
+  //
+  // With the journal enabled the array records an undo entry for every
+  // successful ProgramSlots / InvalidateSlot / EraseBlock (fault "burn"
+  // paths are excluded: a burn always retires the block, so its cursor
+  // and dead slots are never consulted again). Callers stamp each batch
+  // with its media window [start, end); ApplyPowerCut(t) then rolls the
+  // media back to what a cut at simulated time `t` would leave behind:
+  //
+  //   - A program whose window has ended (end <= t) is durable and kept.
+  //     Any other journaled program — in flight or still queued — is
+  //     past its point of no return: its target slots are indeterminate
+  //     and are marked kInvalid (the batch is all-or-nothing; a torn
+  //     superpage never surfaces partial data).
+  //   - An invalidate is bound to the batch that superseded it; if that
+  //     batch is not durable, the invalidated slot is resurrected
+  //     (kValid again, OOB intact) so the old copy remains the one the
+  //     recovery scan finds.
+  //   - An erase that never started (start > t) is undone from a full
+  //     pre-image; an erase in flight at the cut leaves the block's
+  //     content untrusted — it stays erased here and is reported for a
+  //     real re-erase during recovery.
+  //
+  // Entries are processed newest-first so chains (write A, supersede
+  // with B, supersede with C, cut) resolve to exactly one surviving
+  // copy. Entries not yet stamped at the cut are treated as never
+  // issued (the conservative direction).
+
+  /// Counters and work list produced by ApplyPowerCut. The journal is
+  /// cleared afterwards; the report is the only record of what was lost.
+  struct PowerCutReport {
+    std::uint64_t torn_program_slots = 0;     ///< program started, incomplete at cut
+    std::uint64_t unissued_program_slots = 0; ///< program queued, never started
+    std::uint64_t resurrected_slots = 0;      ///< invalidates undone
+    std::uint64_t restored_erases = 0;        ///< erase pre-images restored
+    /// Blocks whose erase was in flight at the cut: content untrusted,
+    /// recovery must EraseBlock them again (with real timing + faults).
+    std::vector<BlockId> reerase;
+  };
+
+  /// Turn undo journaling on. Off (default) costs nothing on the hot
+  /// path; the owning device enables it when power-loss emulation is
+  /// configured.
+  void EnableJournal(bool on) { journal_on_ = on; }
+  bool JournalEnabled() const { return journal_on_; }
+  /// Suspend capture while recovery itself mutates the media (recovery
+  /// writes become the new durable baseline, not undoable state).
+  void PauseJournal(bool paused) { journal_paused_ = paused; }
+
+  /// Stamp every not-yet-stamped journal entry with the media window
+  /// [start, end). Call immediately after computing a batch's timing;
+  /// nested batches may stamp their own entries first (stamping is
+  /// first-stamp-wins).
+  void StampJournal(SimTime start, SimTime end);
+
+  /// Drop stamped entries from the journal front whose window ended at
+  /// or before `horizon`. Host ops call this with their submission time:
+  /// a future cut can never be earlier, so those entries are durable.
+  void PruneJournal(SimTime horizon);
+  std::size_t JournalDepth() const { return journal_.size(); }
+
+  /// Roll the media back to its durable state at cut time `cut` and
+  /// clear the journal. Requires the journal enabled.
+  PowerCutReport ApplyPowerCut(SimTime cut);
+
+  /// Mount-time OOB scan read: state + OOB + payload like ReadSlot, but
+  /// never consults the fault model — recovery charges scan timing (and
+  /// draws nothing), so a cut+recover cycle does not perturb the fault
+  /// RNG stream of subsequent host reads.
+  SlotRead PeekSlot(Ppn ppn) const;
+
   // --- Inspectors ---
   SlotState StateOfSlot(Ppn ppn) const;
   std::uint32_t NextProgramSlot(BlockId block) const;
@@ -165,6 +238,25 @@ class FlashArray {
 
   std::size_t SlotIndex(Ppn ppn) const { return static_cast<std::size_t>(ppn.value()); }
 
+  struct JournalEntry {
+    enum class Kind : std::uint8_t { kProgram, kInvalidate, kErase };
+    Kind kind = Kind::kProgram;
+    bool stamped = false;
+    SimTime start;  // media window [start, end); valid once stamped
+    SimTime end;
+    BlockId block;                 // program / erase
+    std::uint32_t first_slot = 0;  // program: offset within block
+    std::uint32_t count = 0;       // program: slots written
+    Ppn ppn;                       // invalidate
+    std::vector<Slot> image;       // erase: full pre-image of the block
+    BlockMeta prior_meta;          // erase: meta before the erase
+  };
+
+  bool JournalActive() const { return journal_on_ && !journal_paused_; }
+  void UndoProgram(const JournalEntry& e, SimTime cut, PowerCutReport& report);
+  void UndoInvalidate(const JournalEntry& e, SimTime cut, PowerCutReport& report);
+  void UndoErase(JournalEntry& e, SimTime cut, PowerCutReport& report);
+
   FlashGeometry geo_;
   std::vector<Slot> slots_;
   std::vector<BlockMeta> blocks_;
@@ -174,6 +266,9 @@ class FlashArray {
   // accounting; the fault draw mutates only these two members.
   mutable ReliabilityStats rel_;
   FaultModel* fault_ = nullptr;
+  bool journal_on_ = false;
+  bool journal_paused_ = false;
+  std::deque<JournalEntry> journal_;
 };
 
 }  // namespace conzone

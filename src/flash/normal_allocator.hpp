@@ -46,6 +46,15 @@ class NormalAllocator {
 
   SuperblockId current_superblock() const { return current_; }
 
+  /// Power-loss remount: drop the volatile binding; the next ProgramUnit
+  /// binds a fresh superblock and the abandoned tail is left to GC.
+  void Remount() {
+    current_ = SuperblockId{};
+    row_ = 0;
+    chip_off_ = 0;
+    failed_chips_.clear();
+  }
+
  private:
   Status BindNextSuperblock();
 

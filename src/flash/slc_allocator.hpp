@@ -50,6 +50,15 @@ class SlcAllocator {
   /// yet). GC must never pick this as a victim.
   SuperblockId current_superblock() const { return current_; }
 
+  /// Power-loss remount: drop the volatile binding. The partially filled
+  /// superblock it pointed at is abandoned to GC (its live slots are
+  /// still mapped and readable); the next Program binds a fresh one.
+  void Remount() {
+    current_ = SuperblockId{};
+    index_ = 0;
+    failed_.clear();
+  }
+
  private:
   Status BindNextSuperblock();
 

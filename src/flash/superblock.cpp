@@ -9,15 +9,40 @@ namespace conzone {
 
 SuperblockPool::SuperblockPool(const FlashGeometry& geometry,
                                std::uint32_t normal_pool_count)
-    : geo_(geometry) {
+    : geo_(geometry),
+      normal_pool_count_(std::min(normal_pool_count, geo_.NumNormalSuperblocks())) {
   for (std::uint32_t s = 0; s < geo_.NumSlcSuperblocks(); ++s) {
     free_slc_.emplace_back(SuperblockId(s));
   }
-  const std::uint32_t normal_end =
-      geo_.NumSlcSuperblocks() +
-      std::min(normal_pool_count, geo_.NumNormalSuperblocks());
+  const std::uint32_t normal_end = geo_.NumSlcSuperblocks() + normal_pool_count_;
   for (std::uint32_t s = geo_.NumSlcSuperblocks(); s < normal_end; ++s) {
     free_normal_.emplace_back(SuperblockId(s));
+  }
+}
+
+bool SuperblockPool::SuperblockErased(const FlashArray& array,
+                                      SuperblockId sb) const {
+  bool any_healthy = false;
+  for (std::uint32_t c = 0; c < geo_.NumChips(); ++c) {
+    const BlockId b = geo_.BlockOfSuperblock(sb, ChipId{c});
+    if (array.IsRetired(b)) continue;
+    any_healthy = true;
+    if (array.NextProgramSlot(b) != 0 || array.ValidSlots(b) != 0) return false;
+  }
+  return any_healthy;
+}
+
+void SuperblockPool::RebuildFreeLists(const FlashArray& array) {
+  free_slc_.clear();
+  free_normal_.clear();
+  for (std::uint32_t s = 0; s < geo_.NumSlcSuperblocks(); ++s) {
+    const SuperblockId sb{s};
+    if (SuperblockErased(array, sb)) free_slc_.push_back(sb);
+  }
+  const std::uint32_t normal_end = geo_.NumSlcSuperblocks() + normal_pool_count_;
+  for (std::uint32_t s = geo_.NumSlcSuperblocks(); s < normal_end; ++s) {
+    const SuperblockId sb{s};
+    if (SuperblockErased(array, sb)) free_normal_.push_back(sb);
   }
 }
 

@@ -63,12 +63,22 @@ class SuperblockPool {
   /// Sum of per-chip block erase counts for `sb` (0 without wear source).
   std::uint64_t EraseSum(SuperblockId sb) const;
 
+  /// Power-loss remount: rebuild both free lists from media state. A
+  /// superblock is free iff every healthy block in it is erased (cursor
+  /// and valid count zero) and at least one healthy block remains —
+  /// fully-retired superblocks must never cycle back into allocation.
+  /// Retired blocks may keep a stale cursor (the live free lists allow
+  /// that too, see IsFreeSlc). The normal list keeps its configured cap.
+  void RebuildFreeLists(const FlashArray& array);
+
  private:
   /// Pop FIFO front, or the (erase-sum, id)-minimal member when a wear
   /// source is attached.
   SuperblockId PopLeastWorn(std::deque<SuperblockId>& free_list);
+  bool SuperblockErased(const FlashArray& array, SuperblockId sb) const;
 
   FlashGeometry geo_;
+  std::uint32_t normal_pool_count_ = 0;
   std::deque<SuperblockId> free_slc_;
   std::deque<SuperblockId> free_normal_;
   const FlashArray* wear_ = nullptr;

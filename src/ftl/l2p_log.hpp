@@ -13,8 +13,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/status.hpp"
+#include "common/time.hpp"
 #include "common/units.hpp"
 
 namespace conzone {
@@ -40,10 +42,23 @@ struct L2pLogStats {
   std::uint64_t entries_appended = 0;
   std::uint64_t flushes = 0;
   std::uint64_t bytes_flushed = 0;
+  /// Flushes/bytes rolled back because a power cut landed before the
+  /// flush program completed on media (plus pending bytes dropped).
+  std::uint64_t flushes_lost = 0;
+  std::uint64_t bytes_lost = 0;
 };
 
 /// Volatile accumulation state; the owning device supplies the flash
 /// timing when `NeedsFlush()` fires.
+///
+/// Flush accounting is two-phase so a crash racing a flush can never
+/// double-count `bytes_flushed`: `BeginFlush()` moves the pending bytes
+/// out, and only `CommitFlush()` — called with the flush program's media
+/// completion time — records them as flushed. `DropVolatile(cut)` then
+/// rolls back any commit whose media window had not ended by the cut,
+/// moving those bytes (and anything still pending) into `bytes_lost`
+/// exactly once. In a crash-free run the old invariant still holds:
+/// bytes_flushed + pending_bytes == entries_appended * entry_bytes.
 class L2pLog {
  public:
   explicit L2pLog(const L2pLogConfig& config) : cfg_(config) {}
@@ -61,22 +76,59 @@ class L2pLog {
     return cfg_.enabled && pending_bytes_ >= cfg_.flush_threshold_bytes;
   }
 
-  /// Bytes the device must program right now; resets the pending count.
-  /// Call only when NeedsFlush() (or at shutdown for the tail).
-  std::uint64_t TakeFlushBytes() {
+  /// Phase 1: bytes the device must program right now; zeroes the
+  /// pending count but records nothing yet. Call when NeedsFlush() (or
+  /// to force-drain the tail on a host Flush).
+  std::uint64_t BeginFlush() {
     const std::uint64_t bytes = pending_bytes_;
     pending_bytes_ = 0;
+    return bytes;
+  }
+
+  /// Phase 2: the flush program completes on media at `media_done`.
+  void CommitFlush(std::uint64_t bytes, SimTime media_done) {
     ++stats_.flushes;
     stats_.bytes_flushed += bytes;
-    return bytes;
+    commits_.push_back(Commit{bytes, media_done});
+  }
+
+  /// Power cut at `cut`: drop pending bytes and roll back commits whose
+  /// flush program had not finished. Returns the bytes lost.
+  std::uint64_t DropVolatile(SimTime cut) {
+    std::uint64_t lost = pending_bytes_;
+    pending_bytes_ = 0;
+    while (!commits_.empty() && commits_.back().media_done > cut) {
+      lost += commits_.back().bytes;
+      stats_.bytes_flushed -= commits_.back().bytes;
+      --stats_.flushes;
+      ++stats_.flushes_lost;
+      commits_.pop_back();
+    }
+    stats_.bytes_lost += lost;
+    commits_.clear();
+    return lost;
+  }
+
+  /// Forget commits that can no longer race a cut (cut time is never
+  /// before the next host submission). Keeps the commit list O(inflight).
+  void PruneCommits(SimTime horizon) {
+    std::size_t keep = 0;
+    while (keep < commits_.size() && commits_[keep].media_done <= horizon) ++keep;
+    if (keep > 0) commits_.erase(commits_.begin(), commits_.begin() + static_cast<std::ptrdiff_t>(keep));
   }
 
   std::uint64_t pending_bytes() const { return pending_bytes_; }
   const L2pLogStats& stats() const { return stats_; }
 
  private:
+  struct Commit {
+    std::uint64_t bytes = 0;
+    SimTime media_done;
+  };
+
   L2pLogConfig cfg_;
   std::uint64_t pending_bytes_ = 0;
+  std::vector<Commit> commits_;
   L2pLogStats stats_;
 };
 

@@ -54,4 +54,9 @@ std::uint64_t MappingTable::NumMapPages() const {
   return CeilDiv(geo_.num_lpns, geo_.entries_per_map_page);
 }
 
+void MappingTable::ClearAllForMount() {
+  for (MapEntry& e : entries_) e = MapEntry{};
+  mapped_ = 0;
+}
+
 }  // namespace conzone

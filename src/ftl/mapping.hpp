@@ -83,6 +83,10 @@ class MappingTable {
   /// Number of currently mapped entries (diagnostics).
   std::uint64_t mapped_count() const { return mapped_; }
 
+  /// Power-loss remount: drop every entry (and all aggregation) so the
+  /// recovery scan can rebuild the table from media OOB state.
+  void ClearAllForMount();
+
  private:
   MappingGeometry geo_;
   std::vector<MapEntry> entries_;

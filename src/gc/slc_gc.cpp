@@ -153,6 +153,12 @@ Result<SimTime> SlcGarbageCollector::CollectOne(SuperblockId victim, SimTime now
     }
   }
 
+  // Stamp the migration's journal entries before issuing erases: the
+  // programs and invalidates above complete by progs_done, but the
+  // erases start only then — sharing one window would let a mid-GC cut
+  // mislabel never-issued erases as torn and discard restorable data.
+  array_.StampJournal(now, progs_done);
+
   // Erase the victim's blocks (all chips in parallel) and free it.
   // Retired blocks are scrubbed, not erased; an erase failure retires the
   // block on the spot (the pulse still occupied the die). The superblock
@@ -178,6 +184,7 @@ Result<SimTime> SlcGarbageCollector::CollectOne(SuperblockId victim, SimTime now
     array_.mutable_reliability().recovery_time +=
         engine_.timing().For(CellType::kSlc).erase_latency;
   }
+  array_.StampJournal(progs_done, erases_done);
   if (healthy_erased > 0) {
     ++stats_.superblocks_erased;
     if (Status st = pool_.ReleaseSlc(victim); !st.ok()) return st;

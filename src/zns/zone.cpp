@@ -179,4 +179,25 @@ const ZoneInfo& ZoneManager::Info(ZoneId zone) const {
   return zones_[static_cast<std::size_t>(zone.value())];
 }
 
+void ZoneManager::RestoreAtMount(ZoneId zone, std::uint64_t write_pointer) {
+  ZoneInfo& z = zones_[static_cast<std::size_t>(zone.value())];
+  z.write_pointer = write_pointer;
+  if (write_pointer == 0) {
+    z.state = ZoneState::kEmpty;
+  } else if (write_pointer >= cfg_.zone_capacity_bytes) {
+    z.state = ZoneState::kFull;
+  } else {
+    z.state = ZoneState::kClosed;
+  }
+}
+
+void ZoneManager::RecountAfterMount() {
+  open_ = 0;
+  active_ = 0;
+  for (const ZoneInfo& z : zones_) {
+    if (IsOpen(z.state)) ++open_;
+    if (IsActive(z.state)) ++active_;
+  }
+}
+
 }  // namespace conzone

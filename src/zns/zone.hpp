@@ -77,6 +77,23 @@ class ZoneManager {
   /// All zones, for zone-report style listings.
   const std::vector<ZoneInfo>& zones() const { return zones_; }
 
+  // --- Power-loss remount ---
+  //
+  // After a cut, open/closed distinctions are gone (they lived in
+  // volatile controller state); zones come back EMPTY, CLOSED or FULL
+  // from the durable write pointer alone, as ZNS mandates after an
+  // unexpected power off.
+
+  /// Overwrite one zone's host-visible state from the write pointer the
+  /// recovery scan reconciled. Keeps the reset counter.
+  void RestoreAtMount(ZoneId zone, std::uint64_t write_pointer);
+
+  /// Recompute the open/active accounting after a batch of
+  /// RestoreAtMount calls. Active zones may transiently exceed
+  /// max_active_zones at mount; BeginWrite enforces the limit for any
+  /// zone opened afterwards.
+  void RecountAfterMount();
+
  private:
   Status CheckId(ZoneId zone) const;
   bool IsOpen(ZoneState s) const {
