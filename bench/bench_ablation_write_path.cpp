@@ -29,7 +29,7 @@ void WriteBufferCount(::benchmark::State& state, std::uint32_t num_buffers) {
     }
     const RunResult r = MustRun(*dev, jobs);
     state.counters["MiBps"] = r.MiBps();
-    state.counters["WAF"] = dev->WriteAmplification();
+    state.counters["WAF"] = dev->Stats().WriteAmplification();
     state.counters["premature_flushes"] =
         static_cast<double>(dev->stats().premature_flushes);
     ExportLatency(state, r);

@@ -37,7 +37,7 @@ void BufferConflict(::benchmark::State& state, bool conflict) {
     // (zones 0 and 1) uses both buffers.
     const RunResult r = RunPair(*dev, 0, conflict ? 2 : 1);
     state.counters["MiBps"] = r.MiBps();
-    state.counters["WAF"] = dev->WriteAmplification();
+    state.counters["WAF"] = dev->Stats().WriteAmplification();
     state.counters["premature_flushes"] =
         static_cast<double>(dev->stats().premature_flushes);
     state.counters["conflict_flushes"] =

@@ -78,8 +78,8 @@ void Run(bool with_metadata) {
         static_cast<unsigned long long>(d.stats().conventional_overwrites),
         static_cast<unsigned long long>(d.stats().conventional_gc_runs),
         static_cast<unsigned long long>(d.stats().conventional_gc_migrated),
-        static_cast<unsigned long long>(d.stats().premature_flushes),
-        d.WriteAmplification());
+        static_cast<unsigned long long>(d.Stats().premature_flushes),
+        d.Stats().WriteAmplification());
   }
 }
 

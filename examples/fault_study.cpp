@@ -62,11 +62,12 @@ int main() {
     std::printf("%-10.2f %10.1f %10.1f %10.1f %10.1f\n", rate,
                 lat.Percentile(0.5).us(), lat.Percentile(0.99).us(),
                 lat.Percentile(0.999).us(), run.value().Kiops());
-    std::printf("           %s\n", d.reliability().Summary().c_str());
+    const ReliabilityStats rel = d.Reliability();
+    std::printf("           %s\n", rel.Summary().c_str());
     std::printf("           read_retry_hist: %s\n",
-                d.reliability().read_retry_hist.Summary().c_str());
+                rel.read_retry_hist.Summary().c_str());
     std::printf("           redrive_hist:    %s\n",
-                d.reliability().redrive_hist.Summary().c_str());
+                rel.redrive_hist.Summary().c_str());
   }
   return 0;
 }

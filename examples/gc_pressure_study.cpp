@@ -55,7 +55,7 @@ void RunWithSlcBlocks(std::uint32_t slc_blocks) {
       slc_blocks,
       static_cast<double>(cfg.geometry.SlcUsableBytesPerSuperblock()) * slc_blocks /
           (1 << 20),
-      r.value().MiBps(), d.WriteAmplification(),
+      r.value().MiBps(), d.Stats().WriteAmplification(),
       static_cast<unsigned long long>(gc.runs),
       static_cast<unsigned long long>(gc.slots_migrated), gc.busy_time.ms(),
       r.value().latency.Percentile(0.999).us());

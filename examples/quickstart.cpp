@@ -49,11 +49,14 @@ int main() {
   }
   std::printf("\nseq write 512K  : %8.1f MiB/s   (%s)\n", wres.value().MiBps(),
               wres.value().latency.Summary().c_str());
+  // Uniform counters through the StorageDevice interface; `folds` is a
+  // ConZone-internal event with no device-neutral meaning.
+  const StatsSnapshot snap = d.Stats();
   std::printf("flushes=%llu premature=%llu folds=%llu WAF=%.3f\n",
-              static_cast<unsigned long long>(d.stats().flushes),
-              static_cast<unsigned long long>(d.stats().premature_flushes),
+              static_cast<unsigned long long>(snap.buffer_flushes),
+              static_cast<unsigned long long>(snap.premature_flushes),
               static_cast<unsigned long long>(d.stats().folds),
-              d.WriteAmplification());
+              snap.WriteAmplification());
   std::printf("aggregates      : %llu chunk, %llu zone\n",
               static_cast<unsigned long long>(d.stats().aggregates_chunk),
               static_cast<unsigned long long>(d.stats().aggregates_zone));
@@ -96,7 +99,7 @@ int main() {
               d.L2pMissRate() * 100.0, d.translator().stats().FetchesPerMiss(),
               d.l2p_cache().size(),
               static_cast<unsigned long long>(d.l2p_cache().max_entries()));
-  std::printf("reliability     : %s\n", d.reliability().Summary().c_str());
+  std::printf("reliability     : %s\n", d.Reliability().Summary().c_str());
 
   // --- 4. Power cut mid-stream + crash-consistent remount ---
   const SimTime cut_at = rr.value().end_time;

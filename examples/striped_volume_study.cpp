@@ -1,0 +1,148 @@
+// Striped-volume study: host-side scale-up over N emulated devices.
+//
+// A StripedVolume groups N member devices into one logical zoned address
+// space: logical zones interleave round-robin across stripe sets, and a
+// single large write fans out into per-member runs whose simulated
+// timelines advance independently. This study sweeps the member count
+// and reports the aggregate simulated bandwidth the volume achieves for
+// the same workload — the host-layer analogue of the sharded runner's
+// wall-clock scale-out.
+//
+//   ./build/examples/striped_volume_study
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "conzone/conzone.hpp"
+
+using namespace conzone;
+
+namespace {
+
+constexpr std::uint64_t kSpan = 64 * kMiB;
+
+Result<std::unique_ptr<StripedVolume>> MakeVolume(std::uint32_t members) {
+  std::vector<std::unique_ptr<StorageDevice>> devs;
+  for (std::uint32_t i = 0; i < members; ++i) {
+    // Decorrelated member configs, the same derivation the sharded
+    // runner uses for its members.
+    auto dev = ConZoneDevice::Create(
+        ConZoneConfig::PaperConfig().ForShard(i, /*master_seed=*/42));
+    if (!dev.ok()) return dev.status();
+    devs.push_back(std::move(dev).value());
+  }
+  return StripedVolume::Create(std::move(devs), StripedVolumeOptions{});
+}
+
+struct Row {
+  double write_mibps = 0;
+  double read_kiops = 0;
+  double waf = 0;
+  std::uint64_t logical_zones = 0;
+  std::uint64_t end_ns = 0;
+};
+
+Row RunOne(std::uint32_t members) {
+  auto volr = MakeVolume(members);
+  if (!volr.ok()) {
+    std::fprintf(stderr, "create: %s\n", volr.status().ToString().c_str());
+    std::exit(1);
+  }
+  StripedVolume& vol = **volr;
+
+  JobSpec wr;
+  wr.name = "seqwrite";
+  wr.direction = IoDirection::kWrite;
+  wr.pattern = IoPattern::kSequential;
+  wr.block_size = 512 * kKiB;
+  wr.region_offset = 0;
+  wr.region_size = kSpan;
+  wr.io_count = kSpan / wr.block_size;
+  wr.iodepth = 4;
+  wr.seed = 1;
+
+  FioRunner fio(vol);
+  auto wres = fio.Run({wr}, SimTime::Zero());
+  if (!wres.ok()) {
+    std::fprintf(stderr, "write: %s\n", wres.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto fres = vol.Flush(wres.value().end_time);
+  if (!fres.ok()) {
+    std::fprintf(stderr, "flush: %s\n", fres.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  JobSpec rd;
+  rd.name = "randread";
+  rd.direction = IoDirection::kRead;
+  rd.pattern = IoPattern::kRandom;
+  rd.block_size = 4096;
+  rd.region_offset = 0;
+  rd.region_size = kSpan;
+  rd.io_count = 16384;
+  rd.iodepth = 8;
+  rd.seed = 2;
+  auto rres = fio.Run({rd}, fres.value());
+  if (!rres.ok()) {
+    std::fprintf(stderr, "read: %s\n", rres.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  Row row;
+  row.write_mibps = wres.value().MiBps();
+  row.read_kiops = rres.value().Kiops();
+  row.waf = vol.Stats().WriteAmplification();
+  row.logical_zones = vol.info().num_zones;
+  row.end_ns = rres.value().end_time.ns();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Striped-volume study: one logical device over N members\n");
+  std::printf("(64 MiB sequential write at qd4, then 16 Ki random 4 KiB reads at qd8)\n\n");
+  std::printf("%-8s | %-12s | %-11s | %-5s | %s\n", "members", "write MiB/s",
+              "read KIOPS", "WAF", "logical zones");
+
+  std::uint64_t base_end = 0;
+  for (const std::uint32_t members : {1u, 2u, 4u}) {
+    const Row row = RunOne(members);
+    std::printf("%-8u | %12.0f | %11.1f | %5.2f | %llu\n", members,
+                row.write_mibps, row.read_kiops, row.waf,
+                static_cast<unsigned long long>(row.logical_zones));
+    if (members == 1) base_end = row.end_ns;
+  }
+
+  // Determinism: the study itself is a smoke test. Same seeds, same
+  // volume, bit-identical simulated end time.
+  const Row again = RunOne(1);
+  const bool deterministic = again.end_ns == base_end;
+  std::printf("\nrepeat run bit-identical: %s\n", deterministic ? "yes" : "NO");
+
+  // Typed zone identity: where does logical zone L live? Each logical
+  // zone stripes across one set of members; sets interleave round-robin.
+  auto volr = MakeVolume(4);
+  if (volr.ok()) {
+    StripedVolume& vol = **volr;
+    std::printf("\nzone map (4 members, stripe width %u):\n", vol.stripe_width());
+    for (std::uint64_t l = 0; l < 4; ++l) {
+      std::printf("  logical zone %llu ->", static_cast<unsigned long long>(l));
+      for (std::uint32_t lane = 0; lane < vol.stripe_width(); ++lane) {
+        const MemberZone mz = vol.ToMemberZone(ZoneId{l}, lane);
+        std::printf(" m%u/z%llu", mz.member,
+                    static_cast<unsigned long long>(mz.zone.value()));
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf(
+      "\nReading the table: one member is the bare-device baseline; adding\n"
+      "members multiplies the write bandwidth because each 512 KiB write\n"
+      "splits into per-member runs that program flash concurrently in\n"
+      "simulated time. Random reads scale with members too until the\n"
+      "queue depth runs out of distinct members to overlap.\n");
+  return deterministic ? 0 : 1;
+}

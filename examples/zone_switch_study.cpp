@@ -52,7 +52,8 @@ Cell RunWriters(std::uint32_t num_buffers, std::uint64_t granularity) {
     std::fprintf(stderr, "run: %s\n", r.status().ToString().c_str());
     std::exit(1);
   }
-  return Cell{r.value().MiBps(), d.WriteAmplification(), d.stats().premature_flushes};
+  const StatsSnapshot snap = d.Stats();
+  return Cell{r.value().MiBps(), snap.WriteAmplification(), snap.premature_flushes};
 }
 
 }  // namespace

@@ -87,8 +87,46 @@ DeviceInfo ConZoneDevice::info() const {
   di.num_zones = cfg_.num_conventional_zones + layout_.num_zones();
   di.capacity_bytes = static_cast<std::uint64_t>(di.num_zones) * cfg_.zone_size_bytes;
   di.zone_size_bytes = cfg_.zone_size_bytes;
+  di.num_conventional_zones = cfg_.num_conventional_zones;
+  di.max_open_zones = cfg_.max_open_zones;
+  di.max_active_zones = cfg_.max_active_zones;
+  di.slc_bytes = cfg_.geometry.SlcUsableBytesPerSuperblock() *
+                 cfg_.geometry.NumSlcSuperblocks();
   di.io_alignment = cfg_.geometry.slot_size;
   return di;
+}
+
+Result<IoResult> ConZoneDevice::Write(const IoRequest& req) {
+  auto done = WriteImpl(req.offset, req.len, req.now, req.tokens);
+  if (!done.ok()) return done.status();
+  return IoResult{done.value(), {}};
+}
+
+Result<IoResult> ConZoneDevice::Read(const IoRequest& req) {
+  IoResult res;
+  auto done =
+      ReadImpl(req.offset, req.len, req.now, req.want_tokens ? &res.tokens : nullptr);
+  if (!done.ok()) return done.status();
+  res.done = done.value();
+  return res;
+}
+
+StatsSnapshot ConZoneDevice::Stats() const {
+  StatsSnapshot s;
+  s.host_bytes_written = stats_.host_bytes_written;
+  s.host_bytes_read = stats_.host_bytes_read;
+  s.flash_bytes_written =
+      array_.counters().TotalSlotsProgrammed() * cfg_.geometry.slot_size;
+  s.writes = stats_.writes;
+  s.reads = stats_.reads;
+  s.zone_resets = stats_.zone_resets;
+  s.host_flushes = stats_.host_flushes;
+  s.buffer_flushes = stats_.flushes;
+  s.premature_flushes = stats_.premature_flushes;
+  s.overwrites = stats_.conventional_overwrites;
+  s.gc_runs = gc_.stats().runs + stats_.conventional_gc_runs;
+  s.gc_slots_migrated = gc_.stats().slots_migrated + stats_.conventional_gc_migrated;
+  return s;
 }
 
 SimDuration ConZoneDevice::HostTransferTime(std::uint64_t bytes) const {
@@ -105,13 +143,6 @@ SimDuration ConZoneDevice::HostTransferTime(std::uint64_t bytes) const {
 
 Lpn ConZoneDevice::ZoneBaseLpn(ZoneId zone) const {
   return Lpn(zone.value() * LpnsPerZone());
-}
-
-double ConZoneDevice::WriteAmplification() const {
-  if (stats_.host_bytes_written == 0) return 0.0;
-  const std::uint64_t flash_bytes =
-      array_.counters().TotalSlotsProgrammed() * cfg_.geometry.slot_size;
-  return static_cast<double>(flash_bytes) / static_cast<double>(stats_.host_bytes_written);
 }
 
 void ConZoneDevice::ResetStats() {
@@ -140,8 +171,9 @@ Status ConZoneDevice::BeginHostOp(SimTime now) {
   return Status::Ok();
 }
 
-Result<SimTime> ConZoneDevice::Write(std::uint64_t offset, std::uint64_t len, SimTime now,
-                                     std::span<const std::uint64_t> tokens) {
+Result<SimTime> ConZoneDevice::WriteImpl(std::uint64_t offset, std::uint64_t len,
+                                         SimTime now,
+                                         std::span<const std::uint64_t> tokens) {
   if (Status st = BeginHostOp(now); !st.ok()) return st;
   if (div_slot_.Mod(offset) != 0 || div_slot_.Mod(len) != 0 || len == 0) {
     return Status::InvalidArgument("write must be 4 KiB aligned and non-empty");
@@ -692,8 +724,9 @@ void ConZoneDevice::OnGcRemap(Lpn lpn, Ppn old_ppn, Ppn new_ppn) {
 // Read path
 // ---------------------------------------------------------------------------
 
-Result<SimTime> ConZoneDevice::Read(std::uint64_t offset, std::uint64_t len, SimTime now,
-                                    std::vector<std::uint64_t>* tokens_out) {
+Result<SimTime> ConZoneDevice::ReadImpl(std::uint64_t offset, std::uint64_t len,
+                                        SimTime now,
+                                        std::vector<std::uint64_t>* tokens_out) {
   if (Status st = BeginHostOp(now); !st.ok()) return st;
   const FlashGeometry& geo = cfg_.geometry;
   const std::uint64_t slot = geo.slot_size;

@@ -81,12 +81,14 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
 
   DeviceInfo info() const override;
 
-  Result<SimTime> Write(std::uint64_t offset, std::uint64_t len, SimTime now,
-                        std::span<const std::uint64_t> tokens = {}) override;
-  Result<SimTime> Read(std::uint64_t offset, std::uint64_t len, SimTime now,
-                       std::vector<std::uint64_t>* tokens_out = nullptr) override;
+  Result<IoResult> Write(const IoRequest& req) override;
+  Result<IoResult> Read(const IoRequest& req) override;
+  using StorageDevice::Write;  // compat (offset, len, now, ...) overloads
+  using StorageDevice::Read;
   Result<SimTime> ResetZone(ZoneId zone, SimTime now) override;
   Result<SimTime> Flush(SimTime now) override;
+  StatsSnapshot Stats() const override;
+  ReliabilityStats Reliability() const override { return array_.reliability(); }
 
   Result<SimTime> FinishZone(ZoneId zone, SimTime now);
   Status OpenZone(ZoneId zone) { return zones_.ExplicitOpen(zone); }
@@ -130,20 +132,24 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
   const FlashTimingEngine& engine() const { return engine_; }
   const ConZoneStats& stats() const { return stats_; }
   const MediaCounters& media_counters() const { return array_.counters(); }
-  const ReliabilityStats& reliability() const { return array_.reliability(); }
   const FaultModel& fault_model() const { return fault_; }
   /// True once the device has latched read-only mode (healthy SLC spare
   /// fell below the configured floor). Writes fail, reads keep working.
   bool read_only() const { return read_only_; }
 
-  /// Flash slots programmed x slot size / host bytes written.
-  double WriteAmplification() const;
   /// Current L2P miss rate as seen by the translator.
   double L2pMissRate() const { return translator_.stats().MissRate(); }
   void ResetStats();
 
  private:
   explicit ConZoneDevice(const ConZoneConfig& config);
+
+  /// The pre-IoRequest write/read bodies; the virtual overrides unpack
+  /// the request and delegate here.
+  Result<SimTime> WriteImpl(std::uint64_t offset, std::uint64_t len, SimTime now,
+                            std::span<const std::uint64_t> tokens);
+  Result<SimTime> ReadImpl(std::uint64_t offset, std::uint64_t len, SimTime now,
+                           std::vector<std::uint64_t>* tokens_out);
 
   /// Per-zone write-path runtime (§III-B bookkeeping).
   struct ZoneRuntime {

@@ -1,19 +1,27 @@
 // Abstract storage device driven by the workload runner.
 //
 // All devices in this repository (ConZone, the Legacy baseline, the
-// FEMU-model baseline) implement this synchronous simulated-time
-// interface: an operation submitted at simulated time `now` returns its
-// completion time. Concurrency (multi-threaded FIO jobs) is created by
-// the caller interleaving submissions in time order; the devices'
-// internal resource timelines serialize contended hardware.
+// FEMU-model baseline, and host-side compositions such as StripedVolume)
+// implement this synchronous simulated-time interface: an operation
+// submitted at simulated time `now` returns its completion time.
+// Concurrency (multi-threaded FIO jobs) is created by the caller
+// interleaving submissions in time order; the devices' internal resource
+// timelines serialize contended hardware.
+//
+// Capability discovery is data, not error codes: a host layer decides
+// how to place and route I/O from `DeviceInfo` (zoned vs conventional,
+// zone geometry, open/active limits, SLC staging capacity) — it must
+// never probe by issuing an op and sniffing for kUnimplemented.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/stats.hpp"
 #include "common/status.hpp"
 #include "common/time.hpp"
 
@@ -22,9 +30,91 @@ namespace conzone {
 struct DeviceInfo {
   std::string name;
   std::uint64_t capacity_bytes = 0;   ///< Host-visible logical capacity.
-  std::uint64_t zone_size_bytes = 0;  ///< 0 for conventional devices.
+  /// 0 for conventional devices — the one conventional signal callers
+  /// gate zone handling on (never on ResetZone's error code).
+  std::uint64_t zone_size_bytes = 0;
   std::uint32_t num_zones = 0;
+  /// Leading zones that accept in-place updates (ConZone §III-E
+  /// extension); 0 on purely sequential or purely conventional devices.
+  std::uint32_t num_conventional_zones = 0;
+  /// Zone-resource limits a host must plan placement around; 0 means
+  /// unlimited (or non-zoned).
+  std::uint32_t max_open_zones = 0;
+  std::uint32_t max_active_zones = 0;
+  /// Usable SLC staging capacity (secondary write buffer); 0 when the
+  /// device has no low-latency staging media (e.g. the FEMU model).
+  std::uint64_t slc_bytes = 0;
   std::uint64_t io_alignment = 4096;  ///< Required offset/length alignment.
+
+  bool zoned() const { return zone_size_bytes != 0; }
+};
+
+/// One host I/O, fully described. Replaces the growing default-argument
+/// tail on Write/Read: future fields (priority, deadline, async
+/// completion hooks) extend this struct instead of every signature.
+struct IoRequest {
+  std::uint64_t offset = 0;
+  std::uint64_t len = 0;
+  SimTime now;  ///< Submission time.
+  /// Writes: one integrity token per 4 KiB page (tests use this to
+  /// verify end-to-end data paths); empty = the device stores a default
+  /// token derived from the LPN.
+  std::span<const std::uint64_t> tokens = {};
+  /// Reads: fill IoResult::tokens with the stored token of each 4 KiB
+  /// page. Off by default — the hot path stays allocation-free.
+  bool want_tokens = false;
+};
+
+/// Completion of one host I/O.
+struct IoResult {
+  SimTime done;  ///< Completion time.
+  /// Reads with want_tokens: stored token per 4 KiB page, request order.
+  std::vector<std::uint64_t> tokens;
+};
+
+/// Uniform device counters every StorageDevice can report, so hosts,
+/// examples and harnesses aggregate heterogeneous members without
+/// downcasting to concrete device types. Counters a device does not
+/// model stay zero.
+struct StatsSnapshot {
+  std::uint64_t host_bytes_written = 0;
+  std::uint64_t host_bytes_read = 0;
+  /// Bytes programmed to flash media (write amplification numerator).
+  std::uint64_t flash_bytes_written = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t zone_resets = 0;
+  std::uint64_t host_flushes = 0;    ///< Explicit host Flush/FUA commands.
+  std::uint64_t buffer_flushes = 0;  ///< Write-buffer drain events.
+  std::uint64_t premature_flushes = 0;
+  std::uint64_t overwrites = 0;  ///< In-place updates (conventional space).
+  std::uint64_t gc_runs = 0;
+  std::uint64_t gc_slots_migrated = 0;
+
+  double WriteAmplification() const {
+    return host_bytes_written == 0
+               ? 0.0
+               : static_cast<double>(flash_bytes_written) /
+                     static_cast<double>(host_bytes_written);
+  }
+
+  /// Fold another device's snapshot into this one (host-layer merge).
+  void Merge(const StatsSnapshot& o) {
+    host_bytes_written += o.host_bytes_written;
+    host_bytes_read += o.host_bytes_read;
+    flash_bytes_written += o.flash_bytes_written;
+    writes += o.writes;
+    reads += o.reads;
+    zone_resets += o.zone_resets;
+    host_flushes += o.host_flushes;
+    buffer_flushes += o.buffer_flushes;
+    premature_flushes += o.premature_flushes;
+    overwrites += o.overwrites;
+    gc_runs += o.gc_runs;
+    gc_slots_migrated += o.gc_slots_migrated;
+  }
+
+  bool operator==(const StatsSnapshot&) const = default;
 };
 
 class StorageDevice {
@@ -33,19 +123,16 @@ class StorageDevice {
 
   virtual DeviceInfo info() const = 0;
 
-  /// Write `len` bytes at byte `offset`, submitted at `now`; returns the
-  /// completion time. `tokens` optionally carries one integrity token per
-  /// 4 KiB page (tests use this to verify end-to-end data paths); when
-  /// empty the device stores a default token derived from the LPN.
-  virtual Result<SimTime> Write(std::uint64_t offset, std::uint64_t len, SimTime now,
-                                std::span<const std::uint64_t> tokens = {}) = 0;
+  /// Write req.len bytes at byte req.offset, submitted at req.now.
+  virtual Result<IoResult> Write(const IoRequest& req) = 0;
 
-  /// Read `len` bytes at `offset`. When `tokens_out` is non-null it is
-  /// filled with the stored token of each 4 KiB page.
-  virtual Result<SimTime> Read(std::uint64_t offset, std::uint64_t len, SimTime now,
-                               std::vector<std::uint64_t>* tokens_out = nullptr) = 0;
+  /// Read req.len bytes at req.offset; with req.want_tokens the result
+  /// carries the stored token of each 4 KiB page.
+  virtual Result<IoResult> Read(const IoRequest& req) = 0;
 
-  /// Zoned devices: reset one zone. Conventional devices reject this.
+  /// Zoned devices: reset one zone. Conventional devices never implement
+  /// this — but callers must decide zone handling from
+  /// DeviceInfo::zone_size_bytes, not by probing for this error.
   virtual Result<SimTime> ResetZone(ZoneId zone, SimTime now) {
     (void)zone;
     (void)now;
@@ -54,6 +141,34 @@ class StorageDevice {
 
   /// Flush all volatile write buffers to media.
   virtual Result<SimTime> Flush(SimTime now) { return now; }
+
+  /// Uniform counters; see StatsSnapshot. Default: a device that tracks
+  /// nothing reports zeros.
+  virtual StatsSnapshot Stats() const { return {}; }
+
+  /// Fault/recovery accounting; zero-filled on devices without a
+  /// reliability model.
+  virtual ReliabilityStats Reliability() const { return {}; }
+
+  // --- Thin compatibility overloads (one PR of grace; callers should
+  // migrate to the IoRequest/IoResult forms above) ---
+
+  Result<SimTime> Write(std::uint64_t offset, std::uint64_t len, SimTime now,
+                        std::span<const std::uint64_t> tokens = {}) {
+    auto r = Write(IoRequest{offset, len, now, tokens, /*want_tokens=*/false});
+    if (!r.ok()) return r.status();
+    return r.value().done;
+  }
+
+  Result<SimTime> Read(std::uint64_t offset, std::uint64_t len, SimTime now,
+                       std::vector<std::uint64_t>* tokens_out = nullptr) {
+    IoRequest req{offset, len, now, {}, /*want_tokens=*/tokens_out != nullptr};
+    auto r = Read(req);
+    if (!r.ok()) return r.status();
+    IoResult res = std::move(r).value();
+    if (tokens_out != nullptr) *tokens_out = std::move(res.tokens);
+    return res.done;
+  }
 };
 
 }  // namespace conzone

@@ -46,8 +46,37 @@ DeviceInfo FemuModelDevice::info() const {
   di.capacity_bytes = zone_bytes_ * num_zones_;
   di.zone_size_bytes = zone_bytes_;
   di.num_zones = num_zones_;
+  di.max_open_zones = cfg_.max_open_zones;
+  di.max_active_zones = cfg_.max_active_zones;
   di.io_alignment = cfg_.geometry.slot_size;
   return di;
+}
+
+Result<IoResult> FemuModelDevice::Write(const IoRequest& req) {
+  auto done = WriteImpl(req.offset, req.len, req.now, req.tokens);
+  if (!done.ok()) return done.status();
+  return IoResult{done.value(), {}};
+}
+
+Result<IoResult> FemuModelDevice::Read(const IoRequest& req) {
+  IoResult res;
+  auto done =
+      ReadImpl(req.offset, req.len, req.now, req.want_tokens ? &res.tokens : nullptr);
+  if (!done.ok()) return done.status();
+  res.done = done.value();
+  return res;
+}
+
+StatsSnapshot FemuModelDevice::Stats() const {
+  StatsSnapshot s;
+  s.host_bytes_written = stats_.host_bytes_written;
+  s.host_bytes_read = stats_.host_bytes_read;
+  // FEMU's behavioral model has no media-byte accounting beyond whole
+  // superpage programs; charge them at superpage granularity.
+  s.flash_bytes_written = stats_.superpage_programs * cfg_.geometry.SuperpageBytes();
+  s.writes = stats_.writes;
+  s.reads = stats_.reads;
+  return s;
 }
 
 SimDuration FemuModelDevice::Jitter() {
@@ -56,7 +85,7 @@ SimDuration FemuModelDevice::Jitter() {
   return SimDuration::Nanos(rng_.NextInRange(lo, hi));
 }
 
-Result<SimTime> FemuModelDevice::Write(std::uint64_t offset, std::uint64_t len,
+Result<SimTime> FemuModelDevice::WriteImpl(std::uint64_t offset, std::uint64_t len,
                                        SimTime now,
                                        std::span<const std::uint64_t> tokens) {
   const std::uint64_t slot = cfg_.geometry.slot_size;
@@ -107,7 +136,7 @@ Result<SimTime> FemuModelDevice::Write(std::uint64_t offset, std::uint64_t len,
   return t;
 }
 
-Result<SimTime> FemuModelDevice::Read(std::uint64_t offset, std::uint64_t len,
+Result<SimTime> FemuModelDevice::ReadImpl(std::uint64_t offset, std::uint64_t len,
                                       SimTime now,
                                       std::vector<std::uint64_t>* tokens_out) {
   const FlashGeometry& geo = cfg_.geometry;

@@ -60,18 +60,26 @@ class FemuModelDevice final : public StorageDevice {
   static Result<std::unique_ptr<FemuModelDevice>> Create(const FemuConfig& config);
 
   DeviceInfo info() const override;
-  Result<SimTime> Write(std::uint64_t offset, std::uint64_t len, SimTime now,
-                        std::span<const std::uint64_t> tokens = {}) override;
-  Result<SimTime> Read(std::uint64_t offset, std::uint64_t len, SimTime now,
-                       std::vector<std::uint64_t>* tokens_out = nullptr) override;
+  Result<IoResult> Write(const IoRequest& req) override;
+  Result<IoResult> Read(const IoRequest& req) override;
+  using StorageDevice::Write;  // compat (offset, len, now, ...) overloads
+  using StorageDevice::Read;
   Result<SimTime> ResetZone(ZoneId zone, SimTime now) override;
   Result<SimTime> Flush(SimTime now) override;
+  StatsSnapshot Stats() const override;
 
   const FemuStats& stats() const { return stats_; }
   const FemuConfig& config() const { return cfg_; }
 
  private:
   explicit FemuModelDevice(const FemuConfig& config);
+
+  /// The pre-IoRequest write/read bodies; the virtual overrides unpack
+  /// the request and delegate here.
+  Result<SimTime> WriteImpl(std::uint64_t offset, std::uint64_t len, SimTime now,
+                            std::span<const std::uint64_t> tokens);
+  Result<SimTime> ReadImpl(std::uint64_t offset, std::uint64_t len, SimTime now,
+                           std::vector<std::uint64_t>* tokens_out);
 
   SimDuration Jitter();
   std::uint64_t zone_bytes() const { return zone_bytes_; }

@@ -66,15 +66,41 @@ DeviceInfo LegacyDevice::info() const {
   di.capacity_bytes = usable_bytes_;
   di.zone_size_bytes = 0;
   di.num_zones = 0;
+  di.slc_bytes = cfg_.geometry.SlcUsableBytesPerSuperblock() *
+                 cfg_.geometry.NumSlcSuperblocks();
   di.io_alignment = cfg_.geometry.slot_size;
   return di;
 }
 
-double LegacyDevice::WriteAmplification() const {
-  if (stats_.host_bytes_written == 0) return 0.0;
-  return static_cast<double>(array_.counters().TotalSlotsProgrammed() *
-                             cfg_.geometry.slot_size) /
-         static_cast<double>(stats_.host_bytes_written);
+Result<IoResult> LegacyDevice::Write(const IoRequest& req) {
+  auto done = WriteImpl(req.offset, req.len, req.now, req.tokens);
+  if (!done.ok()) return done.status();
+  return IoResult{done.value(), {}};
+}
+
+Result<IoResult> LegacyDevice::Read(const IoRequest& req) {
+  IoResult res;
+  auto done =
+      ReadImpl(req.offset, req.len, req.now, req.want_tokens ? &res.tokens : nullptr);
+  if (!done.ok()) return done.status();
+  res.done = done.value();
+  return res;
+}
+
+StatsSnapshot LegacyDevice::Stats() const {
+  StatsSnapshot s;
+  s.host_bytes_written = stats_.host_bytes_written;
+  s.host_bytes_read = stats_.host_bytes_read;
+  s.flash_bytes_written =
+      array_.counters().TotalSlotsProgrammed() * cfg_.geometry.slot_size;
+  s.writes = stats_.writes;
+  s.reads = stats_.reads;
+  s.buffer_flushes = stats_.flushes;
+  s.premature_flushes = stats_.premature_flushes;
+  s.overwrites = stats_.overwrites;
+  s.gc_runs = stats_.gc_runs;
+  s.gc_slots_migrated = stats_.gc_slots_migrated;
+  return s;
 }
 
 void LegacyDevice::ResetStats() {
@@ -99,7 +125,8 @@ Status LegacyDevice::SetMapping(Lpn lpn, Ppn ppn) {
 // Write path
 // ---------------------------------------------------------------------------
 
-Result<SimTime> LegacyDevice::Write(std::uint64_t offset, std::uint64_t len, SimTime now,
+Result<SimTime> LegacyDevice::WriteImpl(std::uint64_t offset, std::uint64_t len,
+                                        SimTime now,
                                     std::span<const std::uint64_t> tokens) {
   const std::uint64_t slot = cfg_.geometry.slot_size;
   if (offset % slot != 0 || len % slot != 0 || len == 0) {
@@ -372,7 +399,8 @@ Result<SimTime> LegacyDevice::MaybeRunGc(SimTime now) {
 // Read path
 // ---------------------------------------------------------------------------
 
-Result<SimTime> LegacyDevice::Read(std::uint64_t offset, std::uint64_t len, SimTime now,
+Result<SimTime> LegacyDevice::ReadImpl(std::uint64_t offset, std::uint64_t len,
+                                       SimTime now,
                                    std::vector<std::uint64_t>* tokens_out) {
   const FlashGeometry& geo = cfg_.geometry;
   const std::uint64_t slot = geo.slot_size;

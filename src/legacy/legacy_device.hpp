@@ -77,22 +77,30 @@ class LegacyDevice final : public StorageDevice {
   static Result<std::unique_ptr<LegacyDevice>> Create(const LegacyConfig& config);
 
   DeviceInfo info() const override;
-  Result<SimTime> Write(std::uint64_t offset, std::uint64_t len, SimTime now,
-                        std::span<const std::uint64_t> tokens = {}) override;
-  Result<SimTime> Read(std::uint64_t offset, std::uint64_t len, SimTime now,
-                       std::vector<std::uint64_t>* tokens_out = nullptr) override;
+  Result<IoResult> Write(const IoRequest& req) override;
+  Result<IoResult> Read(const IoRequest& req) override;
+  using StorageDevice::Write;  // compat (offset, len, now, ...) overloads
+  using StorageDevice::Read;
   Result<SimTime> Flush(SimTime now) override;
+  StatsSnapshot Stats() const override;
+  ReliabilityStats Reliability() const override { return array_.reliability(); }
 
   const LegacyConfig& config() const { return cfg_; }
   const LegacyStats& stats() const { return stats_; }
   const MediaCounters& media_counters() const { return array_.counters(); }
   const Translator& translator() const { return translator_; }
   const L2PCache& l2p_cache() const { return cache_; }
-  double WriteAmplification() const;
   void ResetStats();
 
  private:
   explicit LegacyDevice(const LegacyConfig& config);
+
+  /// The pre-IoRequest write/read bodies; the virtual overrides unpack
+  /// the request and delegate here.
+  Result<SimTime> WriteImpl(std::uint64_t offset, std::uint64_t len, SimTime now,
+                            std::span<const std::uint64_t> tokens);
+  Result<SimTime> ReadImpl(std::uint64_t offset, std::uint64_t len, SimTime now,
+                           std::vector<std::uint64_t>* tokens_out);
 
   /// Point `lpn` at `ppn`, invalidating any previous copy (in-place
   /// update semantics).

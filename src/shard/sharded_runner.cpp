@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <utility>
 
 #include "common/rng.hpp"
+#include "core/device.hpp"
 
 namespace conzone {
 
@@ -17,17 +19,41 @@ struct ShardOutcome {
   ShardResult result;
 };
 
+/// A shard's device: a bare ConZone device (members == 1, the identity
+/// path) or a striped volume over `members` ConZone devices, each with
+/// its own decorrelated config stream.
+Result<std::unique_ptr<StorageDevice>> MakeShardDevice(const ShardPlan& plan,
+                                                       std::uint32_t shard_id) {
+  const std::uint32_t members = plan.members == 0 ? 1 : plan.members;
+  if (members == 1) {
+    auto dev =
+        ConZoneDevice::Create(plan.config.ForShard(shard_id, plan.master_seed));
+    if (!dev.ok()) return dev.status();
+    return std::unique_ptr<StorageDevice>(std::move(dev).value());
+  }
+  std::vector<std::unique_ptr<StorageDevice>> devs;
+  devs.reserve(members);
+  for (std::uint32_t j = 0; j < members; ++j) {
+    auto dev = ConZoneDevice::Create(
+        plan.config.ForShard(shard_id * members + j, plan.master_seed));
+    if (!dev.ok()) return dev.status();
+    devs.push_back(std::move(dev).value());
+  }
+  auto vol = StripedVolume::Create(std::move(devs), plan.volume);
+  if (!vol.ok()) return vol.status();
+  return std::unique_ptr<StorageDevice>(std::move(vol).value());
+}
+
 ShardOutcome RunOneShard(const ShardPlan& plan, std::uint32_t shard_id) {
   ShardOutcome out;
   out.result.shard_id = shard_id;
 
-  const ConZoneConfig cfg = plan.config.ForShard(shard_id, plan.master_seed);
-  auto devr = ConZoneDevice::Create(cfg);
+  auto devr = MakeShardDevice(plan, shard_id);
   if (!devr.ok()) {
     out.status = devr.status();
     return out;
   }
-  ConZoneDevice& dev = **devr;
+  StorageDevice& dev = **devr;
 
   SimTime start = SimTime::Zero();
   if (plan.precondition_bytes > 0) {
@@ -46,9 +72,8 @@ ShardOutcome RunOneShard(const ShardPlan& plan, std::uint32_t shard_id) {
     return out;
   }
   out.result.run = std::move(run).value();
-  out.result.reliability = dev.reliability();
-  out.result.device = dev.stats();
-  out.result.write_amplification = dev.WriteAmplification();
+  out.result.reliability = dev.Reliability();
+  out.result.device = dev.Stats();
   return out;
 }
 

@@ -28,7 +28,8 @@
 #include "common/stats.hpp"
 #include "common/status.hpp"
 #include "core/config.hpp"
-#include "core/device.hpp"
+#include "core/storage_device.hpp"
+#include "host/striped_volume.hpp"
 #include "sim/event_queue.hpp"
 #include "workload/fio.hpp"
 
@@ -36,13 +37,20 @@ namespace conzone {
 
 /// Everything needed to reproduce a sharded run.
 struct ShardPlan {
-  /// Template device configuration; shard i runs
-  /// config.ForShard(i, master_seed).
+  /// Template device configuration; member j of shard i runs
+  /// config.ForShard(i * members + j, master_seed) — with members == 1
+  /// this is the classic per-shard derivation, unchanged.
   ConZoneConfig config;
   /// Template job list, instantiated per shard with decorrelated seeds
   /// (shard 0 keeps the template seeds unchanged).
   std::vector<JobSpec> jobs;
   std::uint32_t shards = 1;
+  /// Devices per shard. 1 = a bare ConZone device (the historical
+  /// behavior, bit for bit); >1 = each shard drives a StripedVolume of
+  /// this many ConZone members.
+  std::uint32_t members = 1;
+  /// Striping geometry when members > 1.
+  StripedVolumeOptions volume;
   /// Worker threads; 0 = min(shards, hardware_concurrency).
   std::uint32_t threads = 0;
   std::uint64_t master_seed = 1;
@@ -53,13 +61,15 @@ struct ShardPlan {
 };
 
 /// One shard's outcome, in full — kept per shard (not just merged) so
-/// callers can inspect fleet variance, e.g. fault-rate spread.
+/// callers can inspect fleet variance, e.g. fault-rate spread. Device
+/// counters come through the uniform StorageDevice::Stats() /
+/// Reliability() interface, so a shard's device can be a bare ConZone
+/// device or a striped volume without the result type caring.
 struct ShardResult {
   std::uint32_t shard_id = 0;
   RunResult run;
   ReliabilityStats reliability;
-  ConZoneStats device;
-  double write_amplification = 0.0;
+  StatsSnapshot device;
 };
 
 /// Merge of all shards, in fixed shard-id order.

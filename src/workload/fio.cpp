@@ -112,10 +112,13 @@ Result<SimTime> FioRunner::IssueOne(JobState& job, SimTime t) {
     }
   }
   const std::uint64_t off = PickOffset(job, &len);
-  if (job.spec.direction == IoDirection::kWrite) {
-    return device_.Write(off, len, t);
-  }
-  return device_.Read(off, len, t);
+  // IoRequest form: no token traffic on the issue path, so the returned
+  // IoResult never allocates.
+  auto r = job.spec.direction == IoDirection::kWrite
+               ? device_.Write(IoRequest{off, len, t})
+               : device_.Read(IoRequest{off, len, t});
+  if (!r.ok()) return r.status();
+  return r.value().done;
 }
 
 struct FioRunner::RunCtx {

@@ -217,7 +217,7 @@ TEST_F(ConZoneDeviceTest, WriteAmplificationAccountsSlcDetour) {
   }
   auto f = dev_->Flush(t);
   ASSERT_TRUE(f.ok());
-  EXPECT_GT(dev_->WriteAmplification(), 1.2);
+  EXPECT_GT(dev_->Stats().WriteAmplification(), 1.2);
   EXPECT_GT(dev_->stats().premature_flushes, 10u);
 }
 

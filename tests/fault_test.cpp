@@ -344,7 +344,7 @@ TEST_F(DeviceFaultTest, ProgramFailuresRedriveAndEveryLpnStaysReadable) {
     t = f.value();
   }
 
-  const ReliabilityStats& rel = dev_->reliability();
+  const ReliabilityStats rel = dev_->Reliability();
   EXPECT_GT(rel.program_failures_slc + rel.program_failures_normal, 0u);
   EXPECT_GT(rel.rewrite_slots, 0u);
   EXPECT_GT(rel.RetiredBlocks(), 0u);
@@ -371,7 +371,7 @@ TEST_F(DeviceFaultTest, ResetEraseFailureDegradesZoneButKeepsItWritable) {
   auto r = dev_->ResetZone(ZoneId{0}, t);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   t = r.value();
-  const ReliabilityStats& rel = dev_->reliability();
+  const ReliabilityStats rel = dev_->Reliability();
   EXPECT_GT(rel.erase_failures_normal, 0u);
   EXPECT_EQ(rel.retired_blocks_normal, rel.erase_failures_normal);
 
@@ -414,7 +414,7 @@ TEST_F(DeviceFaultTest, SpareFloorTripsReadOnlyButReadsKeepWorking) {
   EXPECT_NE(write_error.ToString().find("read-only"), std::string::npos)
       << write_error.ToString();
   EXPECT_TRUE(dev_->read_only());
-  EXPECT_EQ(dev_->reliability().read_only_trips, 1u);
+  EXPECT_EQ(dev_->Reliability().read_only_trips, 1u);
 
   // Everything acked before the trip still reads back.
   VerifyRead(0, written, t);
@@ -511,7 +511,7 @@ SoakOutcome RunConcurrentFaultJob() {
   EXPECT_TRUE(run.ok()) << run.status().ToString();
 
   SoakOutcome out;
-  out.reliability = dev.value()->reliability().Summary();
+  out.reliability = dev.value()->Reliability().Summary();
   out.injected = dev.value()->fault_model().counters();
   out.end_ns = run.ok() ? run.value().end_time.ns() : 0;
   out.ops = run.ok() ? run.value().total.ops : 0;
@@ -618,7 +618,7 @@ SoakOutcome RunSoak() {
 
   // Reconcile: what the fault model injected is exactly what the media
   // layer observed and recovered from.
-  const ReliabilityStats& rel = dev.reliability();
+  const ReliabilityStats rel = dev.Reliability();
   const FaultCounters& inj = dev.fault_model().counters();
   EXPECT_EQ(inj.program_faults, rel.program_failures_slc + rel.program_failures_normal);
   EXPECT_EQ(inj.erase_faults, rel.erase_failures_slc + rel.erase_failures_normal);

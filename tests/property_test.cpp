@@ -125,7 +125,7 @@ TEST_P(DevicePropertyTest, RandomOpSequenceKeepsAllInvariants) {
     const double durable_fraction =
         static_cast<double>(mapped * slot) /
         static_cast<double>(dev.stats().host_bytes_written);
-    EXPECT_GE(dev.WriteAmplification(), durable_fraction * 0.999);
+    EXPECT_GE(dev.Stats().WriteAmplification(), durable_fraction * 0.999);
   }
 }
 

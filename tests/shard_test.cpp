@@ -85,8 +85,9 @@ std::string Fingerprint(const ShardResult& s) {
      << " rel={" << s.reliability.Summary() << "}"
      << " retry_hist={" << s.reliability.read_retry_hist.Summary() << "}"
      << " redrive_hist={" << s.reliability.redrive_hist.Summary() << "}"
-     << " waf=" << s.write_amplification
-     << " folds=" << s.device.folds << " resets=" << s.device.zone_resets;
+     << " waf=" << s.device.WriteAmplification()
+     << " flash=" << s.device.flash_bytes_written
+     << " resets=" << s.device.zone_resets;
   return os.str();
 }
 
@@ -138,9 +139,8 @@ TEST(ShardedRunnerTest, OneShardMatchesSingleDevicePathBitForBit) {
     ShardResult manual;
     manual.shard_id = 0;
     manual.run = std::move(direct).value();
-    manual.reliability = dev.reliability();
-    manual.device = dev.stats();
-    manual.write_amplification = dev.WriteAmplification();
+    manual.reliability = dev.Reliability();
+    manual.device = dev.Stats();
 
     ASSERT_EQ(sharded.value().shards.size(), 1u);
     EXPECT_EQ(Fingerprint(sharded.value().shards[0]), Fingerprint(manual))
@@ -168,6 +168,30 @@ TEST(ShardedRunnerTest, ShardsBeyondZeroGetDecorrelatedSeeds) {
             plan.config.fault.seed);
   EXPECT_NE(plan.config.ForShard(1, plan.master_seed).fault.seed,
             plan.config.ForShard(2, plan.master_seed).fault.seed);
+}
+
+// Shards whose device is a striped volume (members > 1) keep the whole
+// determinism contract: thread-count invariance and run-to-run
+// bit-identity, with member configs derived as shard*members+j.
+TEST(ShardedRunnerTest, StripedMemberShardsStayDeterministic) {
+  ShardPlan plan = MakePlan(false, /*shards=*/2, /*threads=*/1);
+  plan.members = 2;
+  std::string reference;
+  for (const std::uint32_t threads : {1u, 2u}) {
+    plan.threads = threads;
+    auto res = ShardedRunner(plan).Run();
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    // Volume-backed shards actually spread the work over both members.
+    for (const ShardResult& s : res.value().shards) {
+      EXPECT_GT(s.device.host_bytes_written, 0u);
+    }
+    const std::string fp = Fingerprint(res.value());
+    if (reference.empty()) {
+      reference = fp;
+    } else {
+      EXPECT_EQ(fp, reference) << "threads=" << threads;
+    }
+  }
 }
 
 TEST(ShardedRunnerTest, ZeroShardsIsAnError) {
