@@ -133,14 +133,19 @@ void BM_Mixed4K(::benchmark::State& state) {
 // CPU time): on a multi-core host it should scale near-linearly in the
 // shard count until cores run out. Device setup + preconditioning happen
 // inside each shard's worker, so they are part of the timed region —
-// identical per shard, which keeps the scaling ratio honest.
+// identical per shard, which keeps the scaling ratio honest. The
+// executor is constructed once outside the loop and passed via
+// ShardPlan::executor: worker threads are setup, not steady-state work,
+// and reusing one pool across runs is how repeated sharded workloads
+// should call the runner.
 void BM_ShardedRandRead4K(::benchmark::State& state) {
   const auto shards = static_cast<std::uint32_t>(state.range(0));
+  WorkStealingExecutor exec(shards);  // one lane per shard: scale-out, not queuing
   ShardPlan plan;
   plan.config = ConZoneConfig::PaperConfig();
   plan.jobs = {ReadSpec(20000, 1, 4)};
   plan.shards = shards;
-  plan.threads = shards;  // one worker per shard: measure scale-out, not queuing
+  plan.executor = &exec;
   plan.master_seed = 1;
   plan.precondition_bytes = kRegion;
   std::uint64_t ios = 0, events = 0;
@@ -168,9 +173,11 @@ void BM_ShardedRandRead4K(::benchmark::State& state) {
 //   * sim_kiops: simulated aggregate IOPS. Outstanding requests land on
 //     distinct members whose timelines advance independently, so this
 //     should grow with the member count (until iodepth runs out).
-//   * sim_ios_per_s: wall-clock emulator throughput. The volume itself
-//     is single-threaded (scale-up belongs to the sharded runner), so
-//     this stays roughly flat in N — reported honestly, not gated.
+//   * sim_ios_per_s: wall-clock emulator throughput. 4 KiB requests
+//     touch one stripe unit, so they take the single-run fast path and
+//     never fan out (no executor set here); this stays roughly flat in
+//     N — reported honestly, not gated. Parallel fan-out is what
+//     BM_StripedSeqWrite512K measures.
 void BM_StripedRandWrite4K(::benchmark::State& state) {
   const auto members = static_cast<std::uint32_t>(state.range(0));
   std::vector<std::unique_ptr<StorageDevice>> devs;
@@ -208,6 +215,105 @@ void BM_StripedRandWrite4K(::benchmark::State& state) {
   state.counters["members"] = static_cast<double>(members);
 }
 
+// Host-layer striping with a real fork-join: 512 KiB sequential writes
+// span 8 stripe units (64 KiB each), so every request fans out across
+// min(8, members) member devices — the multi-run path BM_StripedRandWrite4K
+// (4 KiB, single-run fast path) never reaches. The volume runs the
+// fan-out on a WorkStealingExecutor with `threads` lanes; threads=1 is
+// the serial reference path (the executor runs inline). Results are
+// bit-identical across thread counts (exec_test cross-checks), so
+// sim_kiops must not move with `threads` — only sim_ios_per_s (wall
+// clock) may. On a single-hardware-thread host the parallel rows can
+// only show overhead, not speedup; EXPERIMENTS.md records that cap.
+void BM_StripedSeqWrite512K(::benchmark::State& state) {
+  const auto members = static_cast<std::uint32_t>(state.range(0));
+  const auto threads = static_cast<std::uint32_t>(state.range(1));
+  std::vector<std::unique_ptr<StorageDevice>> devs;
+  for (std::uint32_t i = 0; i < members; ++i) devs.push_back(MakeLegacy());
+  auto volr = StripedVolume::Create(std::move(devs), {});
+  if (!volr.ok()) {
+    std::fprintf(stderr, "volume create failed: %s\n",
+                 volr.status().ToString().c_str());
+    std::abort();
+  }
+  StripedVolume& vol = **volr;
+  WorkStealingExecutor exec(threads);
+  vol.set_executor(&exec);
+
+  JobSpec s;
+  s.name = "seqwrite";
+  s.pattern = IoPattern::kSequential;
+  s.direction = IoDirection::kWrite;
+  s.block_size = 512 * kKiB;
+  s.region_offset = 0;
+  s.region_size = kRegion;
+  s.io_count = 4000;
+  s.seed = 1;
+  s.iodepth = 4;
+
+  SimTime cur;
+  std::uint64_t ios = 0, events = 0;
+  double sim_kiops = 0;
+  for (auto _ : state) {
+    RunResult r = MustRun(vol, {s}, cur);
+    cur = r.end_time;
+    ios += r.total.ops;
+    events += r.events;
+    sim_kiops = r.Kiops();
+  }
+  ExportWallClock(state, ios, events, sim_kiops);
+  state.counters["members"] = static_cast<double>(members);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+// Remount wall-clock vs device fullness: how long the emulator takes (in
+// host time) to run the full power-cut recovery pipeline — torn-block
+// re-erase, OOB scan of every used block, L2P rebuild, write-pointer
+// reconciliation — on a device preconditioned to 25/50/75/100% of its
+// zones. The OOB scan is proportional to used blocks, so wall-clock per
+// remount should grow roughly linearly with fullness. Reported as
+// remounts_per_s (wall-clock rate) plus the *simulated* remount latency
+// sim_remount_ms; there is deliberately no sim_ios_per_s counter — the
+// compare_bench.py gate keys on that metric, and remount cost is tracked,
+// not gated.
+void BM_Remount(::benchmark::State& state) {
+  const auto fullness_pct = static_cast<std::uint64_t>(state.range(0));
+  ConZoneConfig cfg = ConZoneConfig::PaperConfig();
+  // Shrink the flash so a 100%-full OOB scan stays in benchmark budget;
+  // the fullness *ratio* is what the series varies.
+  cfg.geometry.blocks_per_chip = 40;
+  cfg.geometry.slc_blocks_per_chip = 8;
+  cfg.fault.power_loss = true;  // journaling on, cuts legal
+  auto dev = MakeConZone(cfg);
+
+  const DeviceInfo di = dev->info();
+  const std::uint64_t zones_to_fill = di.num_zones * fullness_pct / 100;
+  SimTime cur = zones_to_fill == 0
+                    ? SimTime::Zero()
+                    : MustPrecondition(*dev, 0, zones_to_fill * di.zone_size_bytes);
+
+  std::uint64_t remounts = 0;
+  double sim_remount_ms = 0;
+  for (auto _ : state) {
+    if (Status st = dev->PowerCut(cur); !st.ok()) {
+      std::fprintf(stderr, "power cut failed: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+    auto rec = dev->Recover(cur);
+    if (!rec.ok()) {
+      std::fprintf(stderr, "recover failed: %s\n", rec.status().ToString().c_str());
+      std::abort();
+    }
+    sim_remount_ms = (rec.value() - cur).ms();
+    cur = rec.value();
+    ++remounts;
+  }
+  state.counters["remounts_per_s"] = ::benchmark::Counter(
+      static_cast<double>(remounts), ::benchmark::Counter::kIsRate);
+  state.counters["sim_remount_ms"] = sim_remount_ms;
+  state.counters["fullness_pct"] = static_cast<double>(fullness_pct);
+}
+
 BENCHMARK(BM_RandRead4K)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(::benchmark::kMillisecond);
 BENCHMARK(BM_SeqWrite4K)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(::benchmark::kMillisecond);
 BENCHMARK(BM_Mixed4K)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(::benchmark::kMillisecond);
@@ -228,6 +334,25 @@ BENCHMARK(BM_StripedRandWrite4K)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(::benchmark::kMillisecond);
+// Real time: the fan-out happens on executor lanes.
+BENCHMARK(BM_StripedSeqWrite512K)
+    ->ArgNames({"members", "threads"})
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Args({8, 1})
+    ->Args({8, 8})
+    ->Unit(::benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+BENCHMARK(BM_Remount)
+    ->ArgName("fullness_pct")
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(75)
+    ->Arg(100)
     ->Unit(::benchmark::kMillisecond);
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include "core/device.hpp"             // IWYU pragma: export
 #include "core/storage_device.hpp"     // IWYU pragma: export
 #include "core/zone_layout.hpp"        // IWYU pragma: export
+#include "exec/executor.hpp"           // IWYU pragma: export
 #include "fault/fault_model.hpp"       // IWYU pragma: export
 #include "femu/femu_device.hpp"        // IWYU pragma: export
 #include "flash/array.hpp"             // IWYU pragma: export

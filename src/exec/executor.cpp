@@ -1,0 +1,145 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+
+namespace conzone {
+
+namespace {
+/// Set while the calling thread is inside a task body — on worker lanes
+/// for their whole lifetime, on the submitting thread only while it
+/// participates in a batch. Guards nested Run() calls into inline
+/// execution (see header).
+thread_local bool tls_in_task = false;
+
+struct ScopedTaskFlag {
+  bool prev;
+  ScopedTaskFlag() : prev(tls_in_task) { tls_in_task = true; }
+  ~ScopedTaskFlag() { tls_in_task = prev; }
+};
+}  // namespace
+
+bool Executor::InTask() { return tls_in_task; }
+
+void SerialExecutor::Run(std::size_t tasks, TaskRef fn) {
+  for (std::size_t i = 0; i < tasks; ++i) fn(i);
+}
+
+WorkStealingExecutor::WorkStealingExecutor(std::uint32_t threads)
+    : num_lanes_(threads != 0 ? threads
+                              : std::max(1u, std::thread::hardware_concurrency())) {
+  lanes_.reserve(num_lanes_);
+  for (std::uint32_t i = 0; i < num_lanes_; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  workers_.reserve(num_lanes_ - 1);
+  for (std::uint32_t i = 1; i < num_lanes_; ++i) {
+    workers_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+WorkStealingExecutor::~WorkStealingExecutor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::uint64_t WorkStealingExecutor::steals() const {
+  return steals_.load(std::memory_order_relaxed);
+}
+
+bool WorkStealingExecutor::PopOwn(std::uint32_t lane, std::uint32_t* task) {
+  Lane& l = *lanes_[lane];
+  std::lock_guard<std::mutex> lk(l.mu);
+  if (l.head >= l.tasks.size()) return false;
+  *task = l.tasks[l.head++];
+  return true;
+}
+
+bool WorkStealingExecutor::Steal(std::uint32_t thief, std::uint32_t* task) {
+  for (std::uint32_t k = 1; k < num_lanes_; ++k) {
+    Lane& victim = *lanes_[(thief + k) % num_lanes_];
+    std::lock_guard<std::mutex> lk(victim.mu);
+    if (victim.head >= victim.tasks.size()) continue;
+    *task = victim.tasks.back();
+    victim.tasks.pop_back();
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool WorkStealingExecutor::RunOneTask(std::uint32_t lane) {
+  std::uint32_t task;
+  if (!PopOwn(lane, &task) && !Steal(lane, &task)) return false;
+  // fn_ is written under the lane mutexes' release chain before any task
+  // of the batch becomes poppable, and stays valid until remaining_
+  // reaches zero — which cannot happen before this task's decrement.
+  (*fn_)(static_cast<std::size_t>(task));
+  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(mu_);
+    done_cv_.notify_all();
+  }
+  return true;
+}
+
+void WorkStealingExecutor::WorkerMain(std::uint32_t lane) {
+  ScopedTaskFlag flag;  // workers exist only to run tasks
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+    }
+    while (RunOneTask(lane)) {
+    }
+  }
+}
+
+void WorkStealingExecutor::Run(std::size_t tasks, TaskRef fn) {
+  if (tasks == 0) return;
+  if (num_lanes_ == 1 || tasks == 1 || InTask()) {
+    // Inline serial fallback: single lane, nothing to fan out, or a
+    // nested fork-join from inside a task (joining on our own pool from
+    // a worker could deadlock it; results are identical either way).
+    ScopedTaskFlag flag;
+    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fn_.emplace(fn);
+    remaining_.store(tasks, std::memory_order_relaxed);
+    // Deal task ids round-robin in submission order. Lane mutexes are
+    // taken even though workers of the previous batch are quiescent: a
+    // straggler may still be scanning deques, and the lock chain also
+    // publishes fn_ to whoever pops a task.
+    for (std::uint32_t i = 0; i < num_lanes_; ++i) {
+      Lane& l = *lanes_[i];
+      std::lock_guard<std::mutex> llk(l.mu);
+      l.tasks.clear();
+      l.head = 0;
+      for (std::size_t t = i; t < tasks; t += num_lanes_) {
+        l.tasks.push_back(static_cast<std::uint32_t>(t));
+      }
+    }
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  {
+    // The submitting thread is lane 0 and works like everyone else.
+    ScopedTaskFlag flag;
+    while (RunOneTask(0)) {
+    }
+  }
+  // Join barrier: stragglers may still be running stolen tasks.
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return remaining_.load(std::memory_order_acquire) == 0; });
+  fn_.reset();
+}
+
+}  // namespace conzone

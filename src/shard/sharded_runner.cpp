@@ -1,13 +1,13 @@
 #include "shard/sharded_runner.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <memory>
 #include <thread>
 #include <utility>
 
 #include "common/rng.hpp"
 #include "core/device.hpp"
+#include "exec/executor.hpp"
 
 namespace conzone {
 
@@ -106,24 +106,21 @@ Result<ShardedResult> ShardedRunner::Run() {
   threads = std::min(threads, shards);
 
   std::vector<ShardOutcome> outcomes(shards);
-  // Workers claim shard ids from an atomic counter. Which worker runs
-  // which shard is scheduling-dependent — but each outcome lands in its
-  // own preallocated slot, so the merge below never sees that.
-  std::atomic<std::uint32_t> next{0};
-  auto worker = [&]() {
-    while (true) {
-      const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
-      if (id >= shards) return;
-      outcomes[id] = RunOneShard(plan_, id);
-    }
+  // Shard ids are the executor's task ids: submitted in shard order,
+  // run wherever the deques and steals land them. Which lane runs which
+  // shard is scheduling-dependent — but each outcome lands in its own
+  // preallocated slot and the merge below happens after the join
+  // barrier, in shard-id order, so the merge never sees that.
+  auto shard_task = [&](std::size_t id) {
+    outcomes[id] = RunOneShard(plan_, static_cast<std::uint32_t>(id));
   };
-  if (threads <= 1) {
-    worker();  // in-line: zero thread overhead for the 1-thread case
+  if (plan_.executor != nullptr) {
+    plan_.executor->Run(shards, shard_task);
+  } else if (threads <= 1) {
+    // Inline serial reference path: zero thread overhead.
+    SerialExecutor().Run(shards, shard_task);
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::uint32_t i = 0; i < threads; ++i) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+    WorkStealingExecutor(threads).Run(shards, shard_task);
   }
 
   // Merge after join, in shard-id order: deterministic for any thread

@@ -4,10 +4,13 @@
 // A shard is a fully independent simulated device: its own
 // ConZoneConfig, its own fault-RNG stream, its own workload RNGs, its
 // own event queue. Shards share NOTHING mutable, which is what lets a
-// single process drive N of them on a thread pool without a single lock
-// on the simulation hot path — the only synchronization is an atomic
-// work-claim counter (off the hot path, once per shard) and the final
-// thread join.
+// single process drive N of them in parallel without a single lock on
+// the simulation hot path. Shard tasks are scheduled on the shared
+// deterministic work-stealing executor (src/exec, DESIGN.md §7) — the
+// same substrate StripedVolume fans member sub-requests out on — so
+// the runner no longer carries a bespoke thread pool; the only
+// synchronization is the executor's deques (off the hot path, once per
+// shard) and its join barrier.
 //
 // Determinism contract:
 //   * Each shard's entire run is a pure function of
@@ -35,6 +38,8 @@
 
 namespace conzone {
 
+class Executor;
+
 /// Everything needed to reproduce a sharded run.
 struct ShardPlan {
   /// Template device configuration; member j of shard i runs
@@ -51,8 +56,15 @@ struct ShardPlan {
   std::uint32_t members = 1;
   /// Striping geometry when members > 1.
   StripedVolumeOptions volume;
-  /// Worker threads; 0 = min(shards, hardware_concurrency).
+  /// Worker threads; 0 = min(shards, hardware_concurrency). Ignored
+  /// when `executor` is set.
   std::uint32_t threads = 0;
+  /// Schedule shard tasks on this shared executor instead of building
+  /// one per run (non-owning; must outlive the run). Null = the runner
+  /// constructs a WorkStealingExecutor with `threads` lanes. Results
+  /// are bit-identical either way — the merge is what's ordered, not
+  /// the execution.
+  Executor* executor = nullptr;
   std::uint64_t master_seed = 1;
   /// Sequentially fill [0, precondition_bytes) on each shard before the
   /// measured jobs (read workloads need written media).

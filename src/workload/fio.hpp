@@ -11,6 +11,18 @@
 // order. Concurrency (across chains and across jobs) is resolved by the
 // device's internal resource model, which serializes contended hardware.
 // iodepth=1 reduces exactly to the synchronous behavior.
+//
+// Submission is batched, io_uring-style: a chain whose next issue falls
+// due at simulated tick T does not get its own dispatch event. Instead
+// the job collects up to iodepth ready chains in a submission ring and
+// the event queue carries at most one flush event per (job, tick),
+// which issues every ready chain of that tick back to back in arrival
+// order. iodepth=1 has a single chain — the ring could never batch —
+// and dispatches directly with zero batching overhead; at higher
+// depths same-tick chains collapse into one event per tick. Chains
+// of one job keep their exact relative order; distinct jobs colliding
+// on the same tick coarsen from per-chain to per-job interleaving —
+// still fully deterministic, which is what the contract requires.
 #pragma once
 
 #include <cstdint>
@@ -131,7 +143,30 @@ class FioRunner {
     std::uint64_t rand_slots = 0;      // virtual_size / block_size
     std::uint64_t rand_threshold = 0;  // Rng::RejectionThreshold(rand_slots)
     FastDiv div_span_;                 // zone_list span (zone_span_bytes or zone size)
+    // Submission ring: chains awaiting their next issue, run-length
+    // packed as (tick, chains) — chains are interchangeable, so a ring
+    // entry is just its tick and a count. A chain arming at the tick
+    // the ring's back entry holds merges into it in O(1) and rides
+    // that entry's already-scheduled flush event (same-tick arms are
+    // consecutive: the event queue drains equal timestamps FIFO);
+    // otherwise it pushes a new entry and schedules the tick's flush.
+    // Entries never outlive their flush (the flush drains every entry
+    // of its tick), so the merge is always into a pending flush. The
+    // vector stays allocation-free after the reserve in Run() and is
+    // unused at iodepth 1 (a single chain dispatches directly).
+    struct ReadySlot {
+      SimTime tick;
+      std::uint32_t chains;
+    };
+    std::vector<ReadySlot> ready;
   };
+
+  struct RunCtx;
+  /// Enqueue a chain's next issue at `at`, scheduling the tick's flush
+  /// event if this is its first ring entry.
+  void ArmChain(RunCtx& ctx, std::size_t idx, SimTime at);
+  /// Flush event body: issue every ring entry of `job` due at `when`.
+  void FlushSubmissions(RunCtx& ctx, std::size_t idx, SimTime when);
 
   Status ValidateSpec(const JobSpec& spec) const;
   /// Issue one IO for `job` at time `t`; returns completion time or the
@@ -139,9 +174,9 @@ class FioRunner {
   Result<SimTime> IssueOne(JobState& job, SimTime t);
   std::uint64_t PickOffset(JobState& job, std::uint64_t* len);
   /// One step of a job's submission chain: issue the next IO and re-arm
-  /// at its completion. Direct member dispatch — the issue loop runs once
-  /// per simulated IO, so no std::function indirection.
-  struct RunCtx;
+  /// the chain in the submission ring at its completion. Direct member
+  /// dispatch — runs once per simulated IO, so no std::function
+  /// indirection.
   void IssueLoop(RunCtx& ctx, std::size_t idx, SimTime t);
 
   StorageDevice& device_;
