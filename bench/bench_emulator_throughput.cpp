@@ -266,6 +266,46 @@ void BM_StripedSeqWrite512K(::benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(threads);
 }
 
+// Degraded mirror reads: 4 KiB random reads through a 2-way
+// RedundantVolume with one member latched failed, so half the reads
+// (those whose rotating primary is the dead member) fail over to the
+// survivor. Arg 0/1 toggles the failure: the healthy row is the
+// baseline, the degraded row prices the reconstruction path — the
+// extra status classification, fail-over read, and RedundancyStats
+// accounting per IO. Legacy members give random 4 KiB reads an
+// in-place address space, as in BM_StripedRandWrite4K.
+void BM_DegradedRandRead4K(::benchmark::State& state) {
+  const bool degraded = state.range(0) != 0;
+  std::vector<std::unique_ptr<StorageDevice>> devs;
+  for (int i = 0; i < 2; ++i) devs.push_back(MakeLegacy());
+  auto volr = RedundantVolume::Create(std::move(devs), {});
+  if (!volr.ok()) {
+    std::fprintf(stderr, "volume create failed: %s\n",
+                 volr.status().ToString().c_str());
+    std::abort();
+  }
+  RedundantVolume& vol = **volr;
+  SimTime cur = MustPrecondition(vol, 0, kRegion);
+  if (degraded) {
+    if (Status st = vol.MarkFailed(0); !st.ok()) std::abort();
+  }
+
+  constexpr std::uint64_t kIos = 20000;
+  std::uint64_t ios = 0, events = 0;
+  double sim_kiops = 0;
+  for (auto _ : state) {
+    RunResult r = MustRun(vol, {ReadSpec(kIos, 1, /*iodepth=*/8)}, cur);
+    cur = r.end_time;
+    ios += r.total.ops;
+    events += r.events;
+    sim_kiops = r.Kiops();
+  }
+  ExportWallClock(state, ios, events, sim_kiops);
+  state.counters["degraded"] = degraded ? 1.0 : 0.0;
+  state.counters["reconstructed_units"] =
+      static_cast<double>(vol.Redundancy().reconstructed_units);
+}
+
 // Remount wall-clock vs device fullness: how long the emulator takes (in
 // host time) to run the full power-cut recovery pipeline — torn-block
 // re-erase, OOB scan of every used block, L2P rebuild, write-pointer
@@ -347,6 +387,11 @@ BENCHMARK(BM_StripedSeqWrite512K)
     ->Unit(::benchmark::kMillisecond)
     ->UseRealTime()
     ->MeasureProcessCPUTime();
+BENCHMARK(BM_DegradedRandRead4K)
+    ->ArgName("degraded")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(::benchmark::kMillisecond);
 BENCHMARK(BM_Remount)
     ->ArgName("fullness_pct")
     ->Arg(25)

@@ -203,4 +203,41 @@ std::string RecoveryStats::Summary() const {
   return buf;
 }
 
+void RedundancyStats::Merge(const RedundancyStats& other) {
+  degraded_reads += other.degraded_reads;
+  degraded_writes += other.degraded_writes;
+  reconstructed_units += other.reconstructed_units;
+  member_failures += other.member_failures;
+  members_readmitted += other.members_readmitted;
+  scrub_rows += other.scrub_rows;
+  scrub_mismatches += other.scrub_mismatches;
+  scrub_repaired_slots += other.scrub_repaired_slots;
+  scrubs_completed += other.scrubs_completed;
+  rebuild_slots_copied += other.rebuild_slots_copied;
+  rebuild_zone_restarts += other.rebuild_zone_restarts;
+  rebuilds_completed += other.rebuilds_completed;
+}
+
+std::string RedundancyStats::Summary() const {
+  char buf[384];
+  std::snprintf(
+      buf, sizeof(buf),
+      "degraded=r:%llu,w:%llu reconstructed_units=%llu failed_members=%llu "
+      "readmitted=%llu scrub=rows:%llu,mismatch:%llu,repaired:%llu,passes:%llu "
+      "rebuild=slots:%llu,restarts:%llu,done:%llu",
+      static_cast<unsigned long long>(degraded_reads),
+      static_cast<unsigned long long>(degraded_writes),
+      static_cast<unsigned long long>(reconstructed_units),
+      static_cast<unsigned long long>(member_failures),
+      static_cast<unsigned long long>(members_readmitted),
+      static_cast<unsigned long long>(scrub_rows),
+      static_cast<unsigned long long>(scrub_mismatches),
+      static_cast<unsigned long long>(scrub_repaired_slots),
+      static_cast<unsigned long long>(scrubs_completed),
+      static_cast<unsigned long long>(rebuild_slots_copied),
+      static_cast<unsigned long long>(rebuild_zone_restarts),
+      static_cast<unsigned long long>(rebuilds_completed));
+  return buf;
+}
+
 }  // namespace conzone

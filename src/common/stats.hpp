@@ -177,6 +177,37 @@ struct RecoveryStats {
   std::string Summary() const;
 };
 
+/// Redundancy accounting for host-side mirrored/parity volumes: degraded
+/// serving, scrub verification/repair, and member rebuild progress.
+/// Owned by RedundantVolume; merged across shards like the other stats.
+struct RedundancyStats {
+  // Degraded foreground service.
+  std::uint64_t degraded_reads = 0;   ///< Reads that needed reconstruction.
+  std::uint64_t degraded_writes = 0;  ///< Writes acknowledged with missing legs.
+  std::uint64_t reconstructed_units = 0;  ///< Stripe units rebuilt from peers/parity.
+  std::uint64_t member_failures = 0;      ///< Members latched failed.
+  std::uint64_t members_readmitted = 0;   ///< Failed members resynced by a clean scrub.
+
+  // Online scrub.
+  std::uint64_t scrub_rows = 0;        ///< Stripe rows verified.
+  std::uint64_t scrub_mismatches = 0;  ///< Rows with replica/parity disagreement.
+  std::uint64_t scrub_repaired_slots = 0;  ///< 4 KiB slots repaired/completed.
+  std::uint64_t scrubs_completed = 0;      ///< Full volume passes finished.
+
+  // Live member rebuild.
+  std::uint64_t rebuild_slots_copied = 0;  ///< Slots written to the fresh member.
+  std::uint64_t rebuild_zone_restarts = 0; ///< Member zones restarted after a torn copy.
+  std::uint64_t rebuilds_completed = 0;
+
+  /// Fold another volume's stats into this one — shard aggregation.
+  void Merge(const RedundancyStats& other);
+
+  /// One-line "degraded=r:x,w:y rebuilt_units=... scrub=..." summary.
+  std::string Summary() const;
+
+  bool operator==(const RedundancyStats&) const = default;
+};
+
 /// Throughput over a measured interval.
 struct Throughput {
   std::uint64_t bytes = 0;

@@ -31,6 +31,7 @@
 #include "ftl/mapping.hpp"             // IWYU pragma: export
 #include "ftl/translator.hpp"          // IWYU pragma: export
 #include "gc/slc_gc.hpp"               // IWYU pragma: export
+#include "host/redundant_volume.hpp"   // IWYU pragma: export
 #include "host/striped_volume.hpp"     // IWYU pragma: export
 #include "legacy/legacy_device.hpp"    // IWYU pragma: export
 #include "shard/sharded_runner.hpp"    // IWYU pragma: export

@@ -93,6 +93,9 @@ DeviceInfo ConZoneDevice::info() const {
   di.slc_bytes = cfg_.geometry.SlcUsableBytesPerSuperblock() *
                  cfg_.geometry.NumSlcSuperblocks();
   di.io_alignment = cfg_.geometry.slot_size;
+  di.health = powered_off_ ? DeviceHealth::kOffline
+              : read_only_ ? DeviceHealth::kReadOnly
+                           : DeviceHealth::kHealthy;
   return di;
 }
 

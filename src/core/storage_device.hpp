@@ -27,6 +27,16 @@
 
 namespace conzone {
 
+/// Coarse serviceability of a device, surfaced through DeviceInfo so a
+/// redundancy layer can route around a dead or write-refusing member
+/// without probing by error code. Like the zoned() capability, this is
+/// data the host plans against, not a status to sniff mid-IO.
+enum class DeviceHealth {
+  kHealthy,   ///< Accepts reads and writes.
+  kReadOnly,  ///< Reads serve; writes are refused (e.g. spare floor hit).
+  kOffline,   ///< No ops serve (e.g. powered off awaiting Recover()).
+};
+
 struct DeviceInfo {
   std::string name;
   std::uint64_t capacity_bytes = 0;   ///< Host-visible logical capacity.
@@ -45,6 +55,9 @@ struct DeviceInfo {
   /// device has no low-latency staging media (e.g. the FEMU model).
   std::uint64_t slc_bytes = 0;
   std::uint64_t io_alignment = 4096;  ///< Required offset/length alignment.
+  /// Current serviceability; devices without a failure model are always
+  /// healthy.
+  DeviceHealth health = DeviceHealth::kHealthy;
 
   bool zoned() const { return zone_size_bytes != 0; }
 };
@@ -70,6 +83,10 @@ struct IoResult {
   SimTime done;  ///< Completion time.
   /// Reads with want_tokens: stored token per 4 KiB page, request order.
   std::vector<std::uint64_t> tokens;
+  /// Stripe units a redundancy layer had to rebuild from peers/parity to
+  /// serve this request (0 on bare devices and clean reads): the per-IO
+  /// degraded-mode signal, mirrored in aggregate by RedundancyStats.
+  std::uint32_t reconstructed_units = 0;
 };
 
 /// Uniform device counters every StorageDevice can report, so hosts,

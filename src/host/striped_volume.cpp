@@ -404,4 +404,18 @@ ReliabilityStats StripedVolume::Reliability() const {
   return s;
 }
 
+std::vector<StatsSnapshot> StripedVolume::PerMemberStats() const {
+  std::vector<StatsSnapshot> out;
+  out.reserve(members_.size());
+  for (const auto& m : members_) out.push_back(m->Stats());
+  return out;
+}
+
+std::vector<ReliabilityStats> StripedVolume::PerMemberReliability() const {
+  std::vector<ReliabilityStats> out;
+  out.reserve(members_.size());
+  for (const auto& m : members_) out.push_back(m->Reliability());
+  return out;
+}
+
 }  // namespace conzone

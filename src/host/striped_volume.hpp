@@ -102,6 +102,12 @@ class StripedVolume final : public StorageDevice {
   StatsSnapshot Stats() const override;
   ReliabilityStats Reliability() const override;
 
+  /// Per-member breakdowns, member order. The merged Stats()/Reliability()
+  /// flatten which member degraded; degraded-mode tests and the examples/
+  /// studies use these to attribute failures to a member.
+  std::vector<StatsSnapshot> PerMemberStats() const;
+  std::vector<ReliabilityStats> PerMemberReliability() const;
+
   /// Attach a fork-join executor: multi-run requests fork one task per
   /// member sub-request on it and merge after the join, in run order.
   /// Null (default) or a 1-thread executor keeps the serial reference
