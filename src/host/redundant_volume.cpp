@@ -422,6 +422,12 @@ Result<IoResult> RedundantVolume::WriteParity(const IoRequest& req,
   if (target_scratch_.empty()) {
     return Status::FailedPrecondition("no writable lane in parity set");
   }
+  if (group_ - static_cast<std::uint32_t>(target_scratch_.size()) > 1) {
+    // Refuse before any leg is issued: appending the row on the
+    // survivors and then failing would skew their write pointers within
+    // the stripe and poison full-row retries after the members return.
+    return Status::FailedPrecondition("parity set beyond single-fault tolerance");
+  }
 
   run_status_.assign(target_scratch_.size(), Status::Ok());
   run_done_.assign(target_scratch_.size(), req.now);
@@ -719,6 +725,17 @@ Result<SimTime> RedundantVolume::ResetZone(ZoneId zone, SimTime now) {
     rebuild_off_ = 0;
     rebuild_fail_streak_ = 0;
   }
+  // Best-effort: propagate the reset to failed members that are still
+  // online, so a later scrub never sees pre-reset content on them (and
+  // readmission starts from an in-sync, empty zone). Errors here neither
+  // fail the reset nor re-latch — the member is already failed.
+  for (std::uint32_t lane = 0; lane < group_; ++lane) {
+    const std::uint32_t m = base + lane;
+    if (state_[m] != MemberState::kFailed) continue;
+    if (members_[m]->info().health == DeviceHealth::kOffline) continue;
+    auto r = members_[m]->ResetZone(ZoneId{zr}, now);
+    if (r.ok()) done = Later(done, r.value());
+  }
   return done;
 }
 
@@ -1010,16 +1027,44 @@ Result<SimTime> RedundantVolume::ScrubRowMirror(std::uint64_t logical,
     }
   }
 
+  // The repair authority is the longest ACTIVE replica. A non-active
+  // member may hold stale content — e.g. a zone reset issued while it
+  // was failed never landed on it — so sourcing from it would resurrect
+  // deleted data onto the good replicas and then readmit the stale
+  // member as clean.
   std::uint64_t max_p = 0;
   std::uint32_t src = 0;
+  bool have_active = false;
   for (std::uint32_t lane = 0; lane < group_; ++lane) {
-    if (part[lane] != 0 && prefix[lane] > max_p) {
+    if (part[lane] == 0 || state_[base + lane] != MemberState::kActive) continue;
+    have_active = true;
+    if (prefix[lane] > max_p) {
       max_p = prefix[lane];
       src = lane;
     }
   }
+  if (!have_active) {
+    // No active replica participated: nothing is authoritative, so this
+    // pass cannot vouch for any non-active lane it read here.
+    for (std::uint32_t lane = 0; lane < group_; ++lane) {
+      if (part[lane] != 0) scrub_clean_[base + lane] = 0;
+    }
+    *content = false;
+    return done;
+  }
   if (max_p == 0) {
-    *content = false;  // The row is beyond every replica's content.
+    // Active content ends before this row. A non-active lane with
+    // content here holds a stale tail (a reset or rewrite it missed) —
+    // flag it so it is neither readmitted nor ever used as a source.
+    for (std::uint32_t lane = 0; lane < group_; ++lane) {
+      const std::uint32_t m = base + lane;
+      if (part[lane] != 0 && state_[m] != MemberState::kActive &&
+          prefix[lane] > 0) {
+        RecordMismatch(logical, row, m);
+        scrub_clean_[m] = 0;
+      }
+    }
+    *content = false;
     return done;
   }
   *content = true;
@@ -1028,7 +1073,8 @@ Result<SimTime> RedundantVolume::ScrubRowMirror(std::uint64_t logical,
     if (part[lane] == 0 || lane == src) continue;
     const std::uint32_t m = base + lane;
     bool diverged = false;
-    for (std::uint64_t j = 0; j < prefix[lane]; ++j) {
+    const std::uint64_t common = std::min(prefix[lane], max_p);
+    for (std::uint64_t j = 0; j < common; ++j) {
       if (toks[lane][j] != toks[src][j]) {
         // Readable-but-different content on append-only media cannot be
         // rewritten in place; count and log it instead.
@@ -1037,6 +1083,14 @@ Result<SimTime> RedundantVolume::ScrubRowMirror(std::uint64_t logical,
         diverged = true;
         break;
       }
+    }
+    if (!diverged && prefix[lane] > max_p) {
+      // Content beyond the longest active replica: only a non-active
+      // lane can get here (src is the active maximum), and the excess is
+      // stale by definition.
+      RecordMismatch(logical, row, m);
+      scrub_clean_[m] = 0;
+      diverged = true;
     }
     if (diverged || prefix[lane] >= max_p || scrub_clean_[m] == 0) continue;
     // The replica's durable content ends inside this row — the
@@ -1113,6 +1167,36 @@ Result<SimTime> RedundantVolume::ScrubRowParity(std::uint64_t logical,
   *content = true;
   if (!all_online) return done;  // Cannot verify or repair without every lane.
 
+  // Repair authority is bounded by the active lanes: a failed-but-online
+  // lane may hold a stale tail (e.g. a zone reset issued while it was
+  // unreachable), which XOR reconstruction would launder into its peers.
+  std::uint64_t active_max = 0;
+  bool any_active = false;
+  for (std::uint32_t lane = 0; lane < group_; ++lane) {
+    if (state_[base + lane] != MemberState::kActive) continue;
+    any_active = true;
+    active_max = std::max(active_max, prefix[lane]);
+  }
+  if (!any_active) {
+    // No authority at all; nothing read here is verifiable.
+    for (std::uint32_t lane = 0; lane < group_; ++lane) {
+      scrub_clean_[base + lane] = 0;
+    }
+    *content = false;
+    return done;
+  }
+  for (std::uint32_t lane = 0; lane < group_; ++lane) {
+    const std::uint32_t m = base + lane;
+    if (state_[m] != MemberState::kActive && prefix[lane] > active_max) {
+      RecordMismatch(logical, row, m);
+      scrub_clean_[m] = 0;
+    }
+  }
+  if (active_max == 0) {
+    *content = false;  // Active content ends before this row.
+    return done;
+  }
+
   // Where every lane is present the row must XOR to zero, slot by slot.
   for (std::uint64_t j = 0; j < min_p; ++j) {
     std::uint64_t acc = 0;
@@ -1134,8 +1218,16 @@ Result<SimTime> RedundantVolume::ScrubRowParity(std::uint64_t logical,
     }
   }
   if (short_lanes == 1) {
+    // The W-1 source lanes must all be active: XOR with a non-active
+    // lane's tokens would append reconstructed-from-stale data.
+    bool sources_active = true;
+    for (std::uint32_t lane = 0; lane < group_; ++lane) {
+      if (lane != short_lane && state_[base + lane] != MemberState::kActive) {
+        sources_active = false;
+      }
+    }
     const std::uint32_t m = base + short_lane;
-    if (scrub_clean_[m] != 0) {
+    if (sources_active && scrub_clean_[m] != 0) {
       // Exactly one lagging lane: its missing slots are the XOR of the
       // other W-1, appended at its write pointer.
       const std::uint64_t nmiss = max_p - prefix[short_lane];
@@ -1215,11 +1307,25 @@ Result<SimTime> RedundantVolume::ScrubConventional(SimTime now, bool* content) {
 
   const std::uint64_t chunk_idx = off / stripe_;
   for (std::uint64_t j = 0; j < slots; ++j) {
+    // The slot authority is the first ACTIVE member holding it: a failed
+    // member's content may predate degraded-mode writes, and must never
+    // overwrite what an active replica acknowledged. A non-active
+    // member's content only fills slots no active member has.
     std::int32_t src = -1;
     for (std::uint32_t m = 0; m < n; ++m) {
-      if (part[m] != 0 && have[m][j] != 0) {
+      if (part[m] != 0 && have[m][j] != 0 &&
+          state_[m] == MemberState::kActive) {
         src = static_cast<std::int32_t>(m);
         break;
+      }
+    }
+    const bool src_active = src >= 0;
+    if (src < 0) {
+      for (std::uint32_t m = 0; m < n; ++m) {
+        if (part[m] != 0 && have[m][j] != 0) {
+          src = static_cast<std::int32_t>(m);
+          break;
+        }
       }
     }
     if (src < 0) continue;  // Legitimately unmapped on every replica.
@@ -1229,7 +1335,16 @@ Result<SimTime> RedundantVolume::ScrubConventional(SimTime now, bool* content) {
           have[m][j] != 0 &&
           toks[m][j] != toks[static_cast<std::uint32_t>(src)][j];
       if (have[m][j] != 0 && !stale) continue;
-      if (stale) RecordMismatch(0, chunk_idx, m);
+      if (stale) {
+        RecordMismatch(0, chunk_idx, m);
+        if (!src_active) {
+          // Two non-active replicas disagree and no active replica has
+          // the slot: there is no authority to repair from either way.
+          scrub_clean_[m] = 0;
+          scrub_clean_[static_cast<std::uint32_t>(src)] = 0;
+          continue;
+        }
+      }
       // Conventional media overwrites in place, so both a missing and a
       // divergent slot are repairable.
       auto w = members_[m]->Write(IoRequest{

@@ -37,9 +37,16 @@
 // rows are checked to XOR to zero, and a lagging member (its durable
 // prefix ends inside the row — the signature of a survived power cut) is
 // repaired by appending the reconstructed slots at its write pointer.
-// Readable-but-divergent content on zoned members cannot be rewritten in
-// place (append-only media); it is counted and logged deterministically
-// in scrub_log() instead. Conventional mirrors repair by overwrite.
+// Repair authority is strictly the kActive members: a failed member may
+// hold stale content (writes and zone resets issued while it was out of
+// service never reached it), so its tokens never overwrite or extend an
+// active replica's — content found only on non-active members is logged
+// as a mismatch and blocks that member's readmission (ResetZone also
+// best-effort-propagates to failed-but-online members so their zones do
+// not go stale in the first place). Readable-but-divergent content on
+// zoned members cannot be rewritten in place (append-only media); it is
+// counted and logged deterministically in scrub_log() instead.
+// Conventional mirrors repair by overwrite.
 //
 // Live rebuild. ReplaceMember(i, fresh) swaps in a fresh device and
 // rebuilds member i's content zone by zone, stripe row by stripe row,

@@ -494,6 +494,177 @@ TEST(RedundantVolumeTest, ConventionalScrubRepairsDivergentReplica) {
   EXPECT_EQ(r.value().tokens[0], toks[5]);
 }
 
+// Regression: the conventional scrub must never treat a failed member
+// as the slot authority. Member 0 (lowest index) fails, degraded-mode
+// writes land on member 1 only — a scrub pass must repair member 0 from
+// member 1, not overwrite member 1's acknowledged writes with member
+// 0's stale tokens.
+TEST(RedundantVolumeTest, ConventionalScrubPrefersActiveSourceOverFailed) {
+  std::vector<std::unique_ptr<StorageDevice>> devs;
+  for (int i = 0; i < 2; ++i) devs.push_back(MakeLegacy(i + 1));
+  auto volr = RedundantVolume::Create(std::move(devs), {});
+  ASSERT_TRUE(volr.ok());
+  RedundantVolume& v = **volr;
+
+  SimTime t;
+  const auto old_toks = Tokens(0, 64);
+  auto w = v.Write(IoRequest{0, 64 * 4096, t, old_toks});
+  ASSERT_TRUE(w.ok());
+  auto f = v.Flush(w.value().done);
+  ASSERT_TRUE(f.ok());
+  SimTime now = f.value();
+
+  // Degraded-mode overwrite of slots 3..10: acknowledged by member 1
+  // alone while member 0 keeps the stale tokens at the same offsets.
+  ASSERT_TRUE(v.MarkFailed(0).ok());
+  const auto new_toks = Tokens(100, 8, /*salt=*/0xD1FF);
+  auto dw = v.Write(IoRequest{3 * 4096, 8 * 4096, now, new_toks});
+  ASSERT_TRUE(dw.ok()) << dw.status().ToString();
+  auto df = v.Flush(dw.value().done);
+  ASSERT_TRUE(df.ok());
+  now = df.value();
+
+  ASSERT_TRUE(v.StartScrub(now).ok());
+  for (int i = 0; i < 100000 && v.scrub_active(); ++i) {
+    auto tick = v.Tick(now);
+    ASSERT_TRUE(tick.ok()) << tick.status().ToString();
+    now = tick.value();
+  }
+  ASSERT_FALSE(v.scrub_active());
+
+  // The acknowledged (degraded) writes survived on the active replica,
+  // the failed member was repaired to match them and readmitted.
+  EXPECT_EQ(v.Redundancy().scrub_mismatches, 8u);
+  for (std::uint32_t m = 0; m < 2; ++m) {
+    auto r = v.member(m).Read(IoRequest{3 * 4096, 8 * 4096, now, {}, true});
+    ASSERT_TRUE(r.ok()) << "member " << m;
+    EXPECT_EQ(r.value().tokens, new_toks) << "member " << m;
+  }
+  EXPECT_EQ(v.member_state(0), MemberState::kActive);
+  EXPECT_EQ(v.Redundancy().members_readmitted, 1u);
+}
+
+// Regression: a zone reset issued while a member was failed AND offline
+// cannot reach it; once it is back online, a scrub must not "repair" the
+// freshly-reset active replica by re-appending the stale member's old
+// tokens (resurrecting deleted data and skewing the active replica's
+// write pointer), and must not readmit the stale member.
+TEST(RedundantVolumeTest, MirrorScrubDoesNotResurrectZoneResetContent) {
+  ConZoneConfig cfg = SmallConZoneCfg();
+  cfg.fault.power_loss = true;
+
+  std::vector<ConZoneDevice*> raw;
+  std::vector<std::unique_ptr<StorageDevice>> devs;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    auto dev = ConZoneDevice::Create(cfg.ForShard(i, 21));
+    ASSERT_TRUE(dev.ok());
+    raw.push_back(dev.value().get());
+    devs.push_back(std::move(dev).value());
+  }
+  RedundantVolumeOptions opt;
+  opt.stripe_bytes = 16 * kKiB;
+  auto volr = RedundantVolume::Create(std::move(devs), opt);
+  ASSERT_TRUE(volr.ok());
+  RedundantVolume& v = **volr;
+  const std::uint64_t stripe = v.stripe_bytes();
+
+  SimTime t;
+  auto w = v.Write(IoRequest{0, 8 * stripe, t, Tokens(0, 8 * stripe / 4096)});
+  ASSERT_TRUE(w.ok());
+  auto f = v.Flush(w.value().done);
+  ASSERT_TRUE(f.ok());
+  SimTime now = f.value();
+
+  // Member 1 goes dark, then the host deletes the zone: the reset lands
+  // on member 0 only; member 1 still holds the old content when it
+  // returns (still latched failed).
+  ASSERT_TRUE(raw[1]->PowerCut(now).ok());
+  ASSERT_TRUE(v.MarkFailed(1).ok());
+  auto rz = v.ResetZone(ZoneId{0}, now);
+  ASSERT_TRUE(rz.ok()) << rz.status().ToString();
+  auto rec = raw[1]->Recover(rz.value());
+  ASSERT_TRUE(rec.ok());
+  now = rec.value();
+  ASSERT_FALSE(MemberZonePrefix(v.member(1), 0, now).empty());
+
+  ASSERT_TRUE(v.StartScrub(now).ok());
+  for (int i = 0; i < 10000 && v.scrub_active(); ++i) {
+    auto tick = v.Tick(now);
+    ASSERT_TRUE(tick.ok()) << tick.status().ToString();
+    now = tick.value();
+  }
+  ASSERT_FALSE(v.scrub_active());
+
+  // The stale member was flagged, not used as a repair source: the
+  // active replica's zone stays empty, member 1 stays quarantined.
+  EXPECT_TRUE(MemberZonePrefix(v.member(0), 0, now).empty());
+  EXPECT_GE(v.Redundancy().scrub_mismatches, 1u);
+  EXPECT_EQ(v.member_state(1), MemberState::kFailed);
+  EXPECT_EQ(v.Redundancy().members_readmitted, 0u);
+
+  // And host writes at the reset zone's start still land at offset 0.
+  auto w2 = v.Write(IoRequest{0, stripe, now, Tokens(500, stripe / 4096)});
+  ASSERT_TRUE(w2.ok()) << w2.status().ToString();
+  auto r2 = v.Read(IoRequest{0, stripe, w2.value().done, {}, true});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().tokens, Tokens(500, stripe / 4096));
+}
+
+// A zone reset propagates (best-effort) to a failed member that is
+// still online, so readmission starts from an in-sync, empty zone: the
+// next scrub pass finds nothing stale and readmits.
+TEST(RedundantVolumeTest, ResetZonePropagatesToFailedOnlineMember) {
+  auto volr = MakeFemuMirror(2, /*replicas=*/0, /*stripe=*/16 * kKiB);
+  ASSERT_TRUE(volr.ok());
+  RedundantVolume& v = **volr;
+  const std::uint64_t stripe = v.stripe_bytes();
+
+  SimTime t;
+  auto w = v.Write(IoRequest{0, 4 * stripe, t, Tokens(0, 4 * stripe / 4096)});
+  ASSERT_TRUE(w.ok());
+  SimTime now = w.value().done;
+
+  ASSERT_TRUE(v.MarkFailed(1).ok());
+  auto rz = v.ResetZone(ZoneId{0}, now);
+  ASSERT_TRUE(rz.ok()) << rz.status().ToString();
+  now = rz.value();
+  EXPECT_TRUE(MemberZonePrefix(v.member(1), 0, now).empty());
+
+  ASSERT_TRUE(v.StartScrub(now).ok());
+  for (int i = 0; i < 10000 && v.scrub_active(); ++i) {
+    auto tick = v.Tick(now);
+    ASSERT_TRUE(tick.ok()) << tick.status().ToString();
+    now = tick.value();
+  }
+  ASSERT_FALSE(v.scrub_active());
+  EXPECT_EQ(v.Redundancy().scrub_mismatches, 0u);
+  EXPECT_EQ(v.member_state(1), MemberState::kActive);
+  EXPECT_EQ(v.Redundancy().members_readmitted, 1u);
+}
+
+// Regression: a parity write that is already beyond single-fault
+// tolerance must be refused before any leg is issued — the surviving
+// lane's write pointer must not advance within the stripe row.
+TEST(RedundantVolumeTest, ParityWriteBeyondToleranceRefusedUpFront) {
+  auto volr = MakeFemuParity(3, /*width=*/0, /*stripe=*/16 * kKiB);
+  ASSERT_TRUE(volr.ok());
+  RedundantVolume& v = **volr;
+  const std::uint64_t row = 2 * v.stripe_bytes();
+
+  SimTime t;
+  auto w = v.Write(IoRequest{0, 2 * row, t, Tokens(0, 2 * row / 4096)});
+  ASSERT_TRUE(w.ok());
+  SimTime now = w.value().done;
+
+  ASSERT_TRUE(v.MarkFailed(1).ok());
+  ASSERT_TRUE(v.MarkFailed(2).ok());
+  const auto before = MemberZonePrefix(v.member(0), 0, now);
+  auto w2 = v.Write(IoRequest{2 * row, row, now, Tokens(99, row / 4096)});
+  ASSERT_FALSE(w2.ok());
+  EXPECT_EQ(w2.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(MemberZonePrefix(v.member(0), 0, now), before);
+}
+
 // ---------------------------------------------------------------------------
 // Live rebuild
 // ---------------------------------------------------------------------------
