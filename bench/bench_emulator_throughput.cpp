@@ -306,24 +306,34 @@ void BM_DegradedRandRead4K(::benchmark::State& state) {
       static_cast<double>(vol.Redundancy().reconstructed_units);
 }
 
-// Remount wall-clock vs device fullness: how long the emulator takes (in
-// host time) to run the full power-cut recovery pipeline — torn-block
-// re-erase, OOB scan of every used block, L2P rebuild, write-pointer
-// reconciliation — on a device preconditioned to 25/50/75/100% of its
-// zones. The OOB scan is proportional to used blocks, so wall-clock per
-// remount should grow roughly linearly with fullness. Reported as
-// remounts_per_s (wall-clock rate) plus the *simulated* remount latency
-// sim_remount_ms; there is deliberately no sim_ios_per_s counter — the
-// compare_bench.py gate keys on that metric, and remount cost is tracked,
-// not gated.
+// Remount wall-clock vs device fullness and checkpoint interval: how
+// long the emulator takes (in host time) to run the full power-cut
+// recovery pipeline — torn-block re-erase, OOB scan, L2P rebuild,
+// write-pointer reconciliation — on a device preconditioned to
+// 25/50/75/100% of its zones. With checkpoint_interval=0 (L2P log and
+// checkpointing off) the OOB scan covers every used block, so wall-clock
+// per remount grows roughly linearly with fullness. With an interval K,
+// the device folds the mapping into a durable image every K flushed log
+// entries during preconditioning and the mount scan shrinks to the
+// post-checkpoint tail — remount cost should then track K, not fullness
+// (the O(1) claim this series demonstrates). Reported as remounts_per_s
+// (wall-clock rate) plus the *simulated* remount latency sim_remount_ms;
+// there is deliberately no sim_ios_per_s counter — that metric is the
+// compare_bench.py throughput gate, and remount has its own.
 void BM_Remount(::benchmark::State& state) {
   const auto fullness_pct = static_cast<std::uint64_t>(state.range(0));
+  const auto ckpt_interval = static_cast<std::uint64_t>(state.range(1));
   ConZoneConfig cfg = ConZoneConfig::PaperConfig();
   // Shrink the flash so a 100%-full OOB scan stays in benchmark budget;
   // the fullness *ratio* is what the series varies.
   cfg.geometry.blocks_per_chip = 40;
   cfg.geometry.slc_blocks_per_chip = 8;
   cfg.fault.power_loss = true;  // journaling on, cuts legal
+  if (ckpt_interval > 0) {
+    cfg.l2p_log.enabled = true;  // the interval counts flushed log entries
+    cfg.checkpoint.enabled = true;
+    cfg.checkpoint.interval_entries = ckpt_interval;
+  }
   auto dev = MakeConZone(cfg);
 
   const DeviceInfo di = dev->info();
@@ -352,6 +362,9 @@ void BM_Remount(::benchmark::State& state) {
       static_cast<double>(remounts), ::benchmark::Counter::kIsRate);
   state.counters["sim_remount_ms"] = sim_remount_ms;
   state.counters["fullness_pct"] = static_cast<double>(fullness_pct);
+  state.counters["checkpoint_interval"] = static_cast<double>(ckpt_interval);
+  state.counters["pages_skipped"] =
+      static_cast<double>(dev->recovery_stats().pages_skipped);
 }
 
 BENCHMARK(BM_RandRead4K)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(::benchmark::kMillisecond);
@@ -392,12 +405,22 @@ BENCHMARK(BM_DegradedRandRead4K)
     ->Arg(0)
     ->Arg(1)
     ->Unit(::benchmark::kMillisecond);
+// Full interval grid at the fullness extremes (the O(1) story), plus the
+// checkpoint-off and 4k-interval points at the mid fullness levels.
 BENCHMARK(BM_Remount)
-    ->ArgName("fullness_pct")
-    ->Arg(25)
-    ->Arg(50)
-    ->Arg(75)
-    ->Arg(100)
+    ->ArgNames({"fullness_pct", "checkpoint_interval"})
+    ->Args({25, 0})
+    ->Args({25, 4096})
+    ->Args({25, 16384})
+    ->Args({25, 65536})
+    ->Args({50, 0})
+    ->Args({50, 4096})
+    ->Args({75, 0})
+    ->Args({75, 4096})
+    ->Args({100, 0})
+    ->Args({100, 4096})
+    ->Args({100, 16384})
+    ->Args({100, 65536})
     ->Unit(::benchmark::kMillisecond);
 
 }  // namespace

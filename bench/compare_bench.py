@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
 """Regression gate over bench_emulator_throughput JSON output.
 
-Compares candidate sim_ios_per_s against a baseline JSON by benchmark
-name and exits non-zero if any benchmark regressed by more than the
-threshold (default 15%). Benchmarks present in only one file are
-reported but never fatal: a new benchmark has no baseline to regress
+Compares candidate rates against a baseline JSON by benchmark name and
+exits non-zero if any benchmark regressed by more than the threshold
+(default 15%). Each row gates on its own rate counter: sim_ios_per_s
+for the throughput benches, remounts_per_s for the BM_Remount rows
+(which measure mount latency, not IO) — both are higher-is-better, so
+one threshold covers them. Benchmarks present in only one file are
+reported but never fatal: a new benchmark (e.g. a fresh
+BM_Remount/checkpoint_interval axis point) has no baseline to regress
 against, and a removed one cannot regress.
 
 More than one candidate file may be given; each benchmark then gates on
@@ -28,20 +32,24 @@ import argparse
 import json
 import sys
 
-METRIC = "sim_ios_per_s"
+# In priority order; the first counter a row carries is its gate metric.
+METRICS = ("sim_ios_per_s", "remounts_per_s")
+METRIC = " / ".join(METRICS)  # for messages
 
 
 def load_rates(path):
-    """Map of benchmark name -> sim_ios_per_s for every per-iteration run."""
+    """Map of benchmark name -> (metric, rate) for every per-iteration run."""
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     rates = {}
     for bench in doc.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue  # means/medians of repeated runs; compare raw runs only
-        value = bench.get(METRIC)
-        if value is not None:
-            rates[bench["name"]] = float(value)
+        for metric in METRICS:
+            value = bench.get(metric)
+            if value is not None:
+                rates[bench["name"]] = (metric, float(value))
+                break
     return rates
 
 
@@ -68,8 +76,9 @@ def main():
         rates = load_rates(path)
         if not rates:
             sys.exit(f"no {METRIC} entries in candidate {path}")
-        for name, value in rates.items():
-            cand[name] = max(cand.get(name, 0.0), value)
+        for name, (metric, value) in rates.items():
+            prev = cand.get(name, (metric, 0.0))
+            cand[name] = (metric, max(prev[1], value))
     if not base:
         sys.exit(f"no {METRIC} entries in baseline {args.baseline}")
 
@@ -89,9 +98,14 @@ def main():
     rows = []  # (verdict, name, old, new, delta) — old/new/delta as strings
     for name in sorted(base):
         if name not in cand:
-            rows.append(("MISSING", name, f"{base[name]:,.0f}", "-", "-"))
+            rows.append(("MISSING", name, f"{base[name][1]:,.0f}", "-", "-"))
             continue
-        b, c = base[name], cand[name]
+        (bm, b), (cm, c) = base[name], cand[name]
+        if bm != cm:
+            # The bench changed which counter it reports; a ratio across
+            # different units means nothing. Non-fatal, like a rename.
+            rows.append(("REMETERED", name, f"{b:,.0f}", f"{c:,.0f}", "-"))
+            continue
         ratio = c / b if b > 0 else float("inf")
         verdict = "OK"
         if ratio < 1.0 - args.threshold:
@@ -101,9 +115,9 @@ def main():
             (verdict, name, f"{b:,.0f}", f"{c:,.0f}", f"{(ratio - 1.0) * 100.0:+.1f}%")
         )
     for name in sorted(set(cand) - set(base)):
-        rows.append(("NEW", name, "-", f"{cand[name]:,.0f}", "-"))
+        rows.append(("NEW", name, "-", f"{cand[name][1]:,.0f}", "-"))
 
-    header = ("", "benchmark", f"old {METRIC}", f"new {METRIC}", "delta")
+    header = ("", "benchmark", "old rate", "new rate", "delta")
     widths = [
         max(len(r[i]) for r in rows + [header]) for i in range(len(header))
     ]

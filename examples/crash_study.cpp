@@ -11,9 +11,10 @@
 // catches in flight: short intervals cut into half-filled write buffers
 // and small L2P log tails; long intervals let folds, GC and log flushes
 // accumulate, so the mount-time OOB scan walks more programmed pages and
-// replays more mappings. The table reports per-cut remount work and the
-// simulated remount latency spread (mean / p50 / p99) from the device's
-// RecoveryStats histogram.
+// replays more mappings. Each interval runs twice — checkpointing off
+// and on (DESIGN.md §12) — so the table shows side by side what the
+// durable L2P image buys: the scan shrinks to the post-checkpoint tail
+// and the simulated remount latency drops accordingly.
 //
 //   ./build/examples/crash_study
 #include <cstdio>
@@ -38,6 +39,58 @@ static double PercentileUs(const Log2Histogram& h, double q) {
   return 0.0;
 }
 
+// One sweep point: run kCuts scheduled cuts and return the device's
+// RecoveryStats snapshot. `with_checkpoints` toggles the durable L2P
+// image; everything else (seed, workload, cut schedule) is identical, so
+// the off/on rows differ only in how the remount rebuilds its state.
+static bool RunPoint(std::uint64_t mean_ns, bool with_checkpoints, int cuts_target,
+                     std::size_t ops_per_slice, RecoveryStats* out) {
+  ConZoneConfig cfg = ConZoneConfig::PaperConfig();
+  cfg.num_conventional_zones = 2;
+  cfg.l2p_log.enabled = true;
+  cfg.fault.power_cut_mean_interval_ns = mean_ns;  // implies power_loss
+  cfg.checkpoint.enabled = with_checkpoints;
+  cfg.checkpoint.interval_entries = 4096;
+
+  CrashHarness::Options opt;
+  opt.seed = 0xC4A5;
+  opt.conv_prob = 0.25;
+  CrashHarness h(cfg, opt);
+  if (Status st = h.Init(); !st.ok()) {
+    std::fprintf(stderr, "init failed: %s\n", st.ToString().c_str());
+    return false;
+  }
+
+  // The cut schedule comes from the device's own fault model so the
+  // stream is deterministic in the config seed and decorrelated from
+  // any fault draws.
+  FaultModel schedule(cfg.fault);
+  SimTime next_cut = schedule.NextCutAfter(h.now());
+  int cuts = 0;
+  while (cuts < cuts_target) {
+    if (Status st = h.RunOps(ops_per_slice); !st.ok()) {
+      std::fprintf(stderr, "workload failed: %s\n", st.ToString().c_str());
+      return false;
+    }
+    if (h.now() < next_cut) continue;  // keep running until the alarm
+    // The schedule can land inside an idle gap that ended before the
+    // last submission; PowerCut refuses to rewind, so clamp forward.
+    const SimTime at = Later(next_cut, h.last_submit());
+    if (Status st = h.CutAt(at); !st.ok()) {
+      std::fprintf(stderr, "cut failed: %s\n", st.ToString().c_str());
+      return false;
+    }
+    if (Status st = h.RecoverAndVerify(); !st.ok()) {
+      std::fprintf(stderr, "CONSISTENCY VIOLATION: %s\n", st.ToString().c_str());
+      return false;
+    }
+    ++cuts;
+    next_cut = schedule.NextCutAfter(h.now());
+  }
+  *out = h.device().recovery_stats();
+  return true;
+}
+
 int main() {
   // Mean simulated time between scheduled cuts.
   constexpr std::uint64_t kMeanIntervalsNs[] = {2'000'000, 10'000'000,
@@ -45,67 +98,49 @@ int main() {
   constexpr int kCutsPerPoint = 40;
   constexpr std::size_t kOpsPerSlice = 24;
 
-  std::printf("crash study: %d scheduled cuts per point, mixed workload\n",
-              kCutsPerPoint);
-  std::printf("%-12s %8s %10s %10s %12s %10s %10s %10s\n", "interval",
-              "cuts", "lost/cut", "torn/cut", "replay/cut", "mean(us)",
-              "p50(us)", "p99(us)");
+  std::printf(
+      "crash study: %d scheduled cuts per point, mixed workload,\n"
+      "checkpointing off vs on (interval 4096 L2P-log entries)\n",
+      kCutsPerPoint);
+  std::printf("%-12s %8s %10s %12s %11s %11s %10s %10s\n", "interval",
+              "cuts", "torn/cut", "replay/cut", "scan/cut", "skip/cut",
+              "mount(us)", "p99(us)");
 
   for (const std::uint64_t mean_ns : kMeanIntervalsNs) {
-    ConZoneConfig cfg = ConZoneConfig::PaperConfig();
-    cfg.num_conventional_zones = 2;
-    cfg.l2p_log.enabled = true;
-    cfg.fault.power_cut_mean_interval_ns = mean_ns;  // implies power_loss
-
-    CrashHarness::Options opt;
-    opt.seed = 0xC4A5;
-    opt.conv_prob = 0.25;
-    CrashHarness h(cfg, opt);
-    if (Status st = h.Init(); !st.ok()) {
-      std::fprintf(stderr, "init failed: %s\n", st.ToString().c_str());
-      return 1;
+    for (const bool ckpt : {false, true}) {
+      RecoveryStats rs;
+      if (!RunPoint(mean_ns, ckpt, kCutsPerPoint, kOpsPerSlice, &rs)) return 1;
+      const double n = static_cast<double>(rs.power_cuts);
+      char label[32];
+      std::snprintf(label, sizeof(label), "%s %s",
+                    SimDuration::Nanos(mean_ns).ToString().c_str(),
+                    ckpt ? "ckpt" : "scan");
+      std::printf("%-12s %8llu %10.1f %12.1f %11.1f %11.1f %10.1f %10.1f\n",
+                  label, static_cast<unsigned long long>(rs.power_cuts),
+                  static_cast<double>(rs.torn_program_slots) / n,
+                  static_cast<double>(rs.replayed_mappings) / n,
+                  static_cast<double>(rs.pages_scanned) / n,
+                  static_cast<double>(rs.pages_skipped) / n,
+                  rs.remount_hist.mean().seconds() * 1e6,
+                  PercentileUs(rs.remount_hist, 0.99));
+      if (ckpt) {
+        // The checkpoint counters only mean something on the on-row:
+        // image writes, torn images lost to cuts, image-served mounts,
+        // entries replayed/rejected, and zones restored without a
+        // reconcile re-walk.
+        std::printf(
+            "  ckpt: written=%llu torn=%llu loaded=%llu replayed=%llu "
+            "stale_dropped=%llu zones_restored=%llu\n",
+            static_cast<unsigned long long>(rs.checkpoints_written),
+            static_cast<unsigned long long>(rs.checkpoints_torn),
+            static_cast<unsigned long long>(rs.checkpoint_loaded),
+            static_cast<unsigned long long>(rs.checkpoint_mappings),
+            static_cast<unsigned long long>(rs.checkpoint_stale_dropped),
+            static_cast<unsigned long long>(rs.zones_restored));
+        std::printf("  ckpt age: %s\n", rs.checkpoint_age_hist.Summary().c_str());
+      }
+      std::printf("  %s\n", rs.Summary().c_str());
     }
-
-    // The cut schedule comes from the device's own fault model so the
-    // stream is deterministic in the config seed and decorrelated from
-    // any fault draws.
-    FaultModel schedule(cfg.fault);
-    SimTime next_cut = schedule.NextCutAfter(h.now());
-    int cuts = 0;
-    while (cuts < kCutsPerPoint) {
-      if (Status st = h.RunOps(kOpsPerSlice); !st.ok()) {
-        std::fprintf(stderr, "workload failed: %s\n", st.ToString().c_str());
-        return 1;
-      }
-      if (h.now() < next_cut) continue;  // keep running until the alarm
-      // The schedule can land inside an idle gap that ended before the
-      // last submission; PowerCut refuses to rewind, so clamp forward.
-      const SimTime at = Later(next_cut, h.last_submit());
-      if (Status st = h.CutAt(at); !st.ok()) {
-        std::fprintf(stderr, "cut failed: %s\n", st.ToString().c_str());
-        return 1;
-      }
-      if (Status st = h.RecoverAndVerify(); !st.ok()) {
-        std::fprintf(stderr, "CONSISTENCY VIOLATION: %s\n",
-                     st.ToString().c_str());
-        return 1;
-      }
-      ++cuts;
-      next_cut = schedule.NextCutAfter(h.now());
-    }
-
-    const RecoveryStats& rs = h.device().recovery_stats();
-    const double n = static_cast<double>(rs.power_cuts);
-    std::printf("%-12s %8llu %10.1f %10.1f %12.1f %10.1f %10.1f %10.1f\n",
-                SimDuration::Nanos(mean_ns).ToString().c_str(),
-                static_cast<unsigned long long>(rs.power_cuts),
-                static_cast<double>(rs.buffered_slots_lost) / n,
-                static_cast<double>(rs.torn_program_slots) / n,
-                static_cast<double>(rs.replayed_mappings) / n,
-                rs.remount_hist.mean().seconds() * 1e6,
-                PercentileUs(rs.remount_hist, 0.50),
-                PercentileUs(rs.remount_hist, 0.99));
-    std::printf("  %s\n", rs.Summary().c_str());
   }
   return 0;
 }

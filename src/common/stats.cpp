@@ -174,20 +174,30 @@ void RecoveryStats::Merge(const RecoveryStats& other) {
   l2p_log_bytes_lost += other.l2p_log_bytes_lost;
   resurrected_slots += other.resurrected_slots;
   orphaned_slots += other.orphaned_slots;
-  scan_pages += other.scan_pages;
+  pages_scanned += other.pages_scanned;
+  pages_skipped += other.pages_skipped;
   reerased_blocks += other.reerased_blocks;
   replayed_mappings += other.replayed_mappings;
+  checkpoints_written += other.checkpoints_written;
+  checkpoint_bytes += other.checkpoint_bytes;
+  checkpoints_torn += other.checkpoints_torn;
+  checkpoint_loaded += other.checkpoint_loaded;
+  checkpoint_mappings += other.checkpoint_mappings;
+  checkpoint_stale_dropped += other.checkpoint_stale_dropped;
+  zones_restored += other.zones_restored;
   remount_time += other.remount_time;
   remount_hist.Merge(other.remount_hist);
+  checkpoint_age_hist.Merge(other.checkpoint_age_hist);
 }
 
 std::string RecoveryStats::Summary() const {
-  char buf[384];
+  char buf[512];
   std::snprintf(
       buf, sizeof(buf),
       "cuts=%llu lost=buf:%llu,torn:%llu,queued:%llu,log:%lluB "
-      "replayed=%llu resurrected=%llu orphaned=%llu scan_pages=%llu "
-      "reerased=%llu remount=%.1fms (mean %.1fms over %llu)",
+      "replayed=%llu resurrected=%llu orphaned=%llu pages=scan:%llu,skip:%llu "
+      "reerased=%llu ckpt=written:%llu,torn:%llu,loaded:%llu,replayed:%llu,"
+      "stale:%llu zones_restored=%llu remount=%.1fms (mean %.1fms over %llu)",
       static_cast<unsigned long long>(power_cuts),
       static_cast<unsigned long long>(buffered_slots_lost),
       static_cast<unsigned long long>(torn_program_slots),
@@ -196,9 +206,16 @@ std::string RecoveryStats::Summary() const {
       static_cast<unsigned long long>(replayed_mappings),
       static_cast<unsigned long long>(resurrected_slots),
       static_cast<unsigned long long>(orphaned_slots),
-      static_cast<unsigned long long>(scan_pages),
-      static_cast<unsigned long long>(reerased_blocks), remount_time.ms(),
-      remount_hist.mean().ms(),
+      static_cast<unsigned long long>(pages_scanned),
+      static_cast<unsigned long long>(pages_skipped),
+      static_cast<unsigned long long>(reerased_blocks),
+      static_cast<unsigned long long>(checkpoints_written),
+      static_cast<unsigned long long>(checkpoints_torn),
+      static_cast<unsigned long long>(checkpoint_loaded),
+      static_cast<unsigned long long>(checkpoint_mappings),
+      static_cast<unsigned long long>(checkpoint_stale_dropped),
+      static_cast<unsigned long long>(zones_restored),
+      remount_time.ms(), remount_hist.mean().ms(),
       static_cast<unsigned long long>(remount_hist.count()));
   return buf;
 }

@@ -162,13 +162,26 @@ struct RecoveryStats {
   // Remount pipeline work.
   std::uint64_t resurrected_slots = 0;  ///< Old copies revived under torn supersedes.
   std::uint64_t orphaned_slots = 0;     ///< Valid-but-unreachable slots invalidated.
-  std::uint64_t scan_pages = 0;         ///< OOB pages sensed by the mount scan.
+  std::uint64_t pages_scanned = 0;      ///< OOB pages sensed by the mount scan.
+  std::uint64_t pages_skipped = 0;      ///< Used pages the checkpoint let the scan skip.
   std::uint64_t reerased_blocks = 0;    ///< Blocks re-erased after a torn erase.
   std::uint64_t replayed_mappings = 0;  ///< L2P entries rebuilt from the scan.
+
+  // Checkpoint activity (DESIGN.md §12).
+  std::uint64_t checkpoints_written = 0;  ///< Images committed to a slot.
+  std::uint64_t checkpoint_bytes = 0;     ///< Serialized bytes programmed.
+  std::uint64_t checkpoints_torn = 0;     ///< Slots invalidated by a cut mid-write.
+  std::uint64_t checkpoint_loaded = 0;    ///< Mounts served by a valid image.
+  std::uint64_t checkpoint_mappings = 0;  ///< L2P entries replayed from images.
+  std::uint64_t checkpoint_stale_dropped = 0;  ///< Image entries rejected at mount.
+  std::uint64_t zones_restored = 0;  ///< Zones restored from a snapshot, no re-walk.
 
   /// Total simulated time spent remounting, and its per-event spread.
   SimDuration remount_time;
   Log2Histogram remount_hist;
+  /// Checkpoint age at each image-served mount: simulated time between
+  /// the image's media completion and the cut it recovered from.
+  Log2Histogram checkpoint_age_hist;
 
   /// Fold another device's stats into this one — shard aggregation.
   void Merge(const RecoveryStats& other);

@@ -25,6 +25,7 @@
 #include "fault/fault_model.hpp"       // IWYU pragma: export
 #include "femu/femu_device.hpp"        // IWYU pragma: export
 #include "flash/array.hpp"             // IWYU pragma: export
+#include "flash/checkpoint_store.hpp"  // IWYU pragma: export
 #include "flash/geometry.hpp"          // IWYU pragma: export
 #include "flash/timing.hpp"            // IWYU pragma: export
 #include "ftl/l2p_cache.hpp"           // IWYU pragma: export

@@ -19,6 +19,12 @@ Status ConZoneConfig::Validate() const {
   if (Status st = buffers.Validate(); !st.ok()) return st;
   if (Status st = gc.Validate(); !st.ok()) return st;
   if (Status st = l2p_log.Validate(); !st.ok()) return st;
+  if (Status st = checkpoint.Validate(); !st.ok()) return st;
+  if (checkpoint.enabled && !l2p_log.enabled) {
+    return Status::InvalidArgument(
+        "config: checkpointing requires the L2P log (interval counts "
+        "flushed log entries)");
+  }
   if (Status st = fault.Validate(); !st.ok()) return st;
   if (buffers.slot_bytes != geometry.slot_size) {
     return Status::InvalidArgument("config: buffer slot size != geometry slot size");

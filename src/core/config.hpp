@@ -7,6 +7,7 @@
 #include "common/status.hpp"
 #include "common/time.hpp"
 #include "fault/fault_model.hpp"
+#include "flash/checkpoint_store.hpp"
 #include "flash/geometry.hpp"
 #include "flash/timing.hpp"
 #include "ftl/l2p_cache.hpp"
@@ -46,6 +47,9 @@ struct ConZoneConfig {
   /// log whose flush-back blocks host requests. Off by default (the
   /// paper defers this to future work).
   L2pLogConfig l2p_log;
+  /// Durable L2P checkpoints bounding the mount-time OOB scan to the
+  /// post-checkpoint tail (DESIGN.md §12). Requires the L2P log.
+  CheckpointConfig checkpoint;
 
   // --- Conventional zones (§III-E extension) ---
   /// The first `num_conventional_zones` zones accept in-place updates —

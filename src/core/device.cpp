@@ -599,16 +599,99 @@ SimTime ConZoneDevice::MaybeFlushL2pLog(SimTime now, bool force) {
     // Commit only now that the program's media window is known: a cut
     // racing the flush rolls the commit back instead of double-counting.
     l2p_log_.CommitFlush(bytes, t);
+    flushed_entries_since_ckpt_ += bytes / cfg_.l2p_log.entry_bytes;
+  }
+  // Interval policy (§12): every K flushed log entries, fold the whole
+  // mapping into a durable image so the mount scan stays O(tail).
+  if (cfg_.checkpoint.enabled &&
+      flushed_entries_since_ckpt_ >= cfg_.checkpoint.interval_entries) {
+    t = WriteCheckpoint(t);
   }
   media_horizon_ = Later(media_horizon_, t);
   return t;
+}
+
+SimTime ConZoneDevice::WriteCheckpoint(SimTime now) {
+  CheckpointImage img;
+  img.seq = ckpt_.NextSeq();
+  img.program_seq = array_.program_seq();
+  // Extent-coded: zoned fills are contiguous in both lpn and ppn space,
+  // so AddMapping collapses the table to O(extents) runs.
+  table_.ForEachMapped([&](Lpn lpn, Ppn ppn) {
+    img.AddMapping(lpn.value(), ppn.value());
+  });
+  // Zone snapshots: the pure reconciliation of the mapping we just
+  // serialized. A zone whose reconcile has no orphans and whose staged
+  // extent reaches the host-visible write pointer (nothing buffered or
+  // in flight) is stamped restorable — an untouched zone restores its
+  // runtime from these fields at mount without re-walking its lpns.
+  {
+    const auto& zinfos = zones_.zones();
+    for (std::uint32_t z = 0; z < zinfos.size(); ++z) {
+      ZoneSnap snap;
+      snap.write_pointer = zinfos[z].write_pointer;
+      if (!IsConventional(ZoneId{z})) {
+        const ZoneReconcile rec = ReconcileZoneMapping(ZoneId{z});
+        snap.durable_normal_end = rec.durable_normal_end;
+        snap.patch_start = rec.patch_start.value();
+        if (rec.degraded) snap.flags |= ZoneSnap::kFlagDegraded;
+        if (rec.patch_contiguous) snap.flags |= ZoneSnap::kFlagPatchContiguous;
+        if (!rec.has_orphans && rec.staged_end == zinfos[z].write_pointer) {
+          snap.flags |= ZoneSnap::kFlagRestorable;
+        }
+      }
+      img.zones.push_back(snap);
+    }
+  }
+  for (SuperblockId sb : pool_.FreeSlcList()) img.free_slc.push_back(sb.value());
+  for (SuperblockId sb : pool_.FreeNormalList()) {
+    img.free_normal.push_back(sb.value());
+  }
+  std::vector<std::uint8_t> blob = img.Encode();
+
+  // Honest media cost on the shared chip timelines: reclaim the target
+  // slot's block, then program the image page-sized chunks striped across
+  // the chips. Chunks on the same chip chain sequentially; chips run in
+  // parallel, so the image lands in max-over-chips time, not the sum.
+  const int slot = ckpt_.NextSlot();
+  SimTime t = engine_.Erase(ChipId{ckpt_chip_}, cfg_.map_media, now);
+  const std::uint32_t num_chips = cfg_.geometry.NumChips();
+  std::vector<SimTime> chip_done(num_chips, t);
+  std::uint64_t left = blob.size();
+  while (left > 0) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(left, cfg_.geometry.page_size);
+    const std::uint32_t chip = ckpt_chip_;
+    ckpt_chip_ = (ckpt_chip_ + 1) % num_chips;
+    chip_done[chip] =
+        engine_.Program(ChipId{chip}, cfg_.map_media, chunk, chip_done[chip]).end;
+    left -= chunk;
+  }
+  for (SimTime done : chip_done) t = Later(t, done);
+  ++recovery_.checkpoints_written;
+  recovery_.checkpoint_bytes += blob.size();
+  // Commit carries the media window's end: a cut before `t` tears this
+  // slot and mount falls back to the other image (or the full scan).
+  ckpt_.Commit(slot, std::move(blob), img.seq, t);
+  flushed_entries_since_ckpt_ = 0;
+  media_horizon_ = Later(media_horizon_, t);
+  return t;
+}
+
+Result<SimTime> ConZoneDevice::CheckpointNow(SimTime now) {
+  if (!cfg_.checkpoint.enabled) {
+    return Status::FailedPrecondition("checkpointing is not enabled");
+  }
+  if (Status st = BeginHostOp(now); !st.ok()) return st;
+  const SimTime logged = MaybeFlushL2pLog(now, /*force=*/true);
+  return WriteCheckpoint(logged);
 }
 
 // ---------------------------------------------------------------------------
 // Aggregation maintenance
 // ---------------------------------------------------------------------------
 
-void ConZoneDevice::UpdateAggregation(ZoneId zone, ZoneRuntime& zr) {
+void ConZoneDevice::UpdateAggregation(ZoneId zone, ZoneRuntime& zr,
+                                      bool table_prestamped) {
   // Degraded zones keep part of their "normal" range in SLC under page
   // mapping — aggregated entries would resolve those LPNs to the layout
   // and read stale media. Stamp nothing further.
@@ -621,7 +704,9 @@ void ConZoneDevice::UpdateAggregation(ZoneId zone, ZoneRuntime& zr) {
   auto stamp_chunk = [&](std::uint32_t idx) {
     const Lpn cbase = Lpn(zbase.value() + static_cast<std::uint64_t>(idx) *
                                               cfg_.lpns_per_chunk);
-    table_.SetAggregated(cbase, cfg_.lpns_per_chunk, MapGranularity::kChunk);
+    if (!table_prestamped) {
+      table_.SetAggregated(cbase, cfg_.lpns_per_chunk, MapGranularity::kChunk);
+    }
     auto base_ppn = ResolveAggregated(MapGranularity::kChunk,
                                       cbase.value() / cfg_.lpns_per_chunk, cbase);
     if (base_ppn) {
@@ -650,7 +735,9 @@ void ConZoneDevice::UpdateAggregation(ZoneId zone, ZoneRuntime& zr) {
       ++zr.chunks_aggregated;
     }
     if (cfg_.max_aggregation == MapGranularity::kZone) {
-      table_.SetAggregated(zbase, LpnsPerZone(), MapGranularity::kZone);
+      if (!table_prestamped) {
+        table_.SetAggregated(zbase, LpnsPerZone(), MapGranularity::kZone);
+      }
       auto base_ppn = ResolveAggregated(MapGranularity::kZone, zone.value(), zbase);
       if (base_ppn) {
         translator_.OnAggregateGenerated(MapGranularity::kZone, zone.value(), *base_ppn);
@@ -931,6 +1018,15 @@ Result<SimTime> ConZoneDevice::Flush(SimTime now) {
   // here survives a cut too.
   done = Later(done, media_horizon_);
   done = MaybeFlushL2pLog(done, /*force=*/true);
+  // Clean-flush policy (§12): the device is quiescent and the log tail
+  // just persisted — a cheap moment to fold the mapping into an image.
+  // Gated on a minimum of flushed entries so a flush-heavy host does not
+  // pay a full image per Flush.
+  if (cfg_.checkpoint.enabled && cfg_.checkpoint.on_host_flush &&
+      flushed_entries_since_ckpt_ >= cfg_.checkpoint.min_flush_entries &&
+      flushed_entries_since_ckpt_ > 0) {
+    done = WriteCheckpoint(done);
+  }
   return done;
 }
 
@@ -1367,6 +1463,11 @@ Status ConZoneDevice::PowerCut(SimTime cut_time) {
   recovery_.unissued_program_slots += rep.unissued_program_slots;
   recovery_.resurrected_slots += rep.resurrected_slots;
   reerase_pending_ = std::move(rep.reerase);
+  rescan_pending_ = std::move(rep.rescan);
+  last_cut_time_ = cut_time;
+  // A checkpoint image whose programs had not finished at the cut is
+  // torn; the store invalidates it so mount elects the previous image.
+  recovery_.checkpoints_torn += ckpt_.ApplyPowerCut(cut_time);
   // Volatile controller state dies with the SRAM: buffered host data and
   // the unflushed (or in-flight) L2P log tail.
   recovery_.buffered_slots_lost += buffers_.DiscardAll();
@@ -1397,36 +1498,174 @@ Result<SimTime> ConZoneDevice::RecoverReeraseTorn(std::span<const BlockId> block
 
 Result<SimTime> ConZoneDevice::RecoverScanMedia(SimTime now) {
   const FlashGeometry& geo = cfg_.geometry;
-  table_.ClearAllForMount();
   std::uint64_t mapped = 0;
   SimTime done = now;
-  for (std::uint64_t bi = 0; bi < geo.TotalBlocks(); ++bi) {
+  const std::uint32_t num_zones = cfg_.num_conventional_zones + layout_.num_zones();
+  zone_dirty_.assign(num_zones, 0);
+  mount_have_snaps_ = false;
+  const std::uint64_t lpns_per_zone = LpnsPerZone();
+  auto dirty_lpn = [&](std::uint64_t lpn_v) {
+    const std::uint64_t z = lpn_v / lpns_per_zone;
+    if (z < num_zones) zone_dirty_[static_cast<std::size_t>(z)] = 1;
+  };
+
+  // Checkpoint fast path (§12): replay the newest valid image, then
+  // bound the OOB scan to blocks programmed after its watermark. The
+  // image is a RAM snapshot, so every entry is re-checked against the
+  // media it points at — a slot torn or superseded after the snapshot
+  // rejects here and the tail scan (or a forced rescan) supplies the
+  // truth instead.
+  bool have_ckpt = false;
+  std::uint64_t watermark = 0;
+  std::optional<CheckpointImage> img;  // lives past the tail scan (pass B)
+  std::vector<std::uint8_t> run_clean;
+  if (cfg_.checkpoint.enabled && cfg_.checkpoint.load_at_mount) {
+    const CheckpointStore::Slot* slot = ckpt_.NewestValid();
+    // NewestValid only elects decodable slots, so Decode cannot fail
+    // here; the has_value() check keeps the fallback honest anyway.
+    if (slot != nullptr) img = CheckpointImage::Decode(slot->blob);
+      if (img.has_value()) {
+      // Charge the image load like the write: page-sized chunk reads
+      // striped over the chips. Same-chip chunks chain sequentially,
+      // chips overlap, so the load costs max-over-chips time.
+      std::vector<SimTime> chip_done(geo.NumChips(), done);
+      std::uint64_t left = slot->blob.size();
+      std::uint32_t chip = 0;
+      while (left > 0) {
+        const std::uint64_t chunk = std::min<std::uint64_t>(left, geo.page_size);
+        array_.CountPageRead();
+        chip_done[chip] =
+            engine_.ReadPage(ChipId{chip}, cfg_.map_media, chunk, chip_done[chip]);
+        chip = (chip + 1) % geo.NumChips();
+        left -= chunk;
+      }
+      for (SimTime cd : chip_done) done = Later(done, cd);
+      watermark = img->program_seq;
+      have_ckpt = true;
+      ++recovery_.checkpoint_loaded;
+      recovery_.checkpoint_age_hist.Record(last_cut_time_ - slot->media_end);
+      if (img->zones.size() == num_zones) {
+        mount_zone_snaps_ = std::move(img->zones);
+        mount_have_snaps_ = true;
+      }
+      // Force-rescan flags: blocks the cut's undo pass put *older* state
+      // back into (resurrected slots, restored erase pre-images) must be
+      // rescanned even below the watermark — and their image runs
+      // re-checked per-slot — because the image may map their lpns
+      // elsewhere or not at all.
+      rescan_flags_.assign(static_cast<std::size_t>(geo.TotalBlocks()), 0);
+      for (const BlockId b : rescan_pending_) {
+        rescan_flags_[static_cast<std::size_t>(b.value())] = 1;
+      }
+      // Pass A — cleanliness only, no installs yet: a run is clean when
+      // every block its ppn span touches is unchanged since the snapshot
+      // (change-seq at or below the watermark, no forced rescan), so the
+      // media still holds exactly what the image recorded. Unclean runs
+      // dirty every zone they span: those zones' restore must fall back
+      // to media reconciliation. Installation waits for the tail scan
+      // below so the final per-zone restore decision (and with it each
+      // entry's aggregation map bits) is known before the table pass.
+      const std::uint64_t num_lpns = table_.geometry().num_lpns;
+      const std::uint64_t run_spb =
+          static_cast<std::uint64_t>(geo.pages_per_block) * geo.SlotsPerPage();
+      const std::uint64_t total_slots = geo.TotalBlocks() * run_spb;
+      run_clean.assign(img->mappings.size(), 0);
+      for (std::size_t ri = 0; ri < img->mappings.size(); ++ri) {
+        const MapRun& run = img->mappings[ri];
+        bool clean = run.lpn + run.count <= num_lpns &&
+                     run.ppn + run.count <= total_slots;
+        if (clean) {
+          const std::uint64_t b_first = run.ppn / run_spb;
+          const std::uint64_t b_last = (run.ppn + run.count - 1) / run_spb;
+          for (std::uint64_t b = b_first; clean && b <= b_last; ++b) {
+            clean = array_.LastChangeSeq(BlockId{b}) <= watermark &&
+                    rescan_flags_[static_cast<std::size_t>(b)] == 0;
+          }
+        }
+        run_clean[ri] = clean ? 1 : 0;
+        if (!clean) {
+          const std::uint64_t z0 = run.lpn / lpns_per_zone;
+          const std::uint64_t z1 = (run.lpn + run.count - 1) / lpns_per_zone;
+          for (std::uint64_t z = z0; z <= z1 && z < num_zones; ++z) {
+            zone_dirty_[static_cast<std::size_t>(z)] = 1;
+          }
+        }
+      }
+    }
+  }
+  rescan_pending_.clear();
+
+  // Reset the table, skipping the ranges clean image runs will stream
+  // over in pass B: at high fullness nearly every entry is about to be
+  // re-installed, and rewriting the table twice is the dominant mount
+  // cost. Unclean runs and the tail scan need genuinely cleared entries
+  // (they probe `prev.mapped()`), and their lpns are never inside a
+  // clean run: a post-snapshot copy of a clean run's lpn would have
+  // invalidated the run's slot (change-seq bump) or sits in a cut-undo
+  // block (forced rescan) — either way pass A already marked the run
+  // unclean. A stale entry slipping through anyway trips the two-copies
+  // check or the Σvalid == mapped gate; nothing fails silently.
+  {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> keep;
+    if (img.has_value()) {
+      keep.reserve(img->mappings.size());
+      for (std::size_t ri = 0; ri < img->mappings.size(); ++ri) {
+        if (run_clean[ri] != 0) {
+          keep.emplace_back(img->mappings[ri].lpn, img->mappings[ri].count);
+        }
+      }
+    }
+    table_.ClearForMountExcept(keep);
+  }
+
+  const std::uint32_t slots_per_page = geo.SlotsPerPage();
+  const std::uint64_t slots_per_block =
+      static_cast<std::uint64_t>(geo.pages_per_block) * slots_per_page;
+  // Hot loop (the tail path): the flat ppn of a block's slot s is
+  // base + s, so the per-slot PageAt/SlotAt arithmetic is hoisted into
+  // one running base per block.
+  std::uint64_t base = 0;
+  for (std::uint64_t bi = 0; bi < geo.TotalBlocks(); ++bi, base += slots_per_block) {
     const BlockId b{bi};
     const std::uint32_t used = array_.NextProgramSlot(b);
     if (used == 0) continue;
+    const std::uint32_t used_pages = (used + slots_per_page - 1) / slots_per_page;
+    if (have_ckpt && array_.LastProgramSeq(b) <= watermark &&
+        rescan_flags_[static_cast<std::size_t>(bi)] == 0) {
+      // Untouched since the snapshot: the image already mapped every
+      // valid slot here identically. Skip the senses entirely.
+      recovery_.pages_skipped += used_pages;
+      continue;
+    }
     const ChipId chip = geo.ChipOfBlock(b);
     const CellType cell = geo.CellOfBlock(b);
     // One OOB sense per used page; pages of one block are sequential on
     // the chip, blocks on different chips overlap via the timelines.
-    const std::uint32_t used_pages =
-        (used + geo.SlotsPerPage() - 1) / geo.SlotsPerPage();
     SimTime block_done = now;
     for (std::uint32_t p = 0; p < used_pages; ++p) {
       array_.CountPageRead();
       block_done = engine_.ReadPage(chip, cell, geo.page_size, block_done);
-      ++recovery_.scan_pages;
+      ++recovery_.pages_scanned;
     }
     done = Later(done, block_done);
     for (std::uint32_t s = 0; s < used; ++s) {
-      const Ppn ppn =
-          geo.SlotAt(geo.PageAt(b, s / geo.SlotsPerPage()), s % geo.SlotsPerPage());
+      const Ppn ppn{base + s};
       // PeekSlot: the mount scan charges timing above but never draws
       // from the fault RNG — a cut/recover cycle must not perturb the
       // fault sequence of later host IO.
       const SlotRead r = array_.PeekSlot(ppn);
       if (r.state != SlotState::kValid) continue;
       if (!r.lpn.valid()) continue;  // alignment padding never maps
-      if (table_.Get(r.lpn).mapped()) {
+      // A scanned-in slot means this zone changed after the snapshot
+      // (or there is no snapshot); its restore must re-reconcile.
+      dirty_lpn(r.lpn.value());
+      const MapEntry prev = table_.Get(r.lpn);
+      if (prev.mapped()) {
+        // Image entries install after this loop, so a prior mapping here
+        // is another scanned block's copy — a genuine double, same as
+        // the full scan. (Same-ppn is unreachable; kept for symmetry
+        // with the image path.)
+        if (prev.ppn == ppn) continue;
         return Status::Internal("mount scan found two valid copies of lpn " +
                                 std::to_string(r.lpn.value()));
       }
@@ -1434,14 +1673,114 @@ Result<SimTime> ConZoneDevice::RecoverScanMedia(SimTime now) {
       ++mapped;
     }
   }
+
+  // Pass B — install the image runs. zone_dirty_ is final now, so each
+  // restorable-and-clean zone's aggregation boundary is known up front
+  // and a clean run installs with its final map bits in one streaming
+  // store pass (no second SetAggregated sweep at restore time).
+  if (img.has_value()) {
+    std::vector<std::uint64_t> agg_end(num_zones, 0);
+    std::vector<MapGranularity> agg_gran(num_zones, MapGranularity::kPage);
+    if (mount_have_snaps_) {
+      const std::uint64_t chunk_bytes =
+          static_cast<std::uint64_t>(cfg_.lpns_per_chunk) * geo.slot_size;
+      for (std::uint32_t z = cfg_.num_conventional_zones; z < num_zones; ++z) {
+        if (zone_dirty_[z] != 0) continue;
+        const ZoneSnap& snap = mount_zone_snaps_[z];
+        if ((snap.flags & ZoneSnap::kFlagRestorable) == 0) continue;
+        if ((snap.flags & ZoneSnap::kFlagDegraded) != 0) continue;
+        // Mirror of UpdateAggregation over the snapshot's runtime: whole
+        // chunks inside the durable normal prefix aggregate at chunk
+        // granularity; a complete zone with a contiguous patch lifts to
+        // the configured maximum.
+        const std::uint64_t zbase = static_cast<std::uint64_t>(z) * lpns_per_zone;
+        const bool complete = snap.write_pointer == cfg_.zone_size_bytes &&
+                              snap.durable_normal_end == layout_.normal_bytes();
+        const bool patch_ok = layout_.patch_bytes() == 0 ||
+                              (snap.flags & ZoneSnap::kFlagPatchContiguous) != 0;
+        if (complete && patch_ok) {
+          agg_end[z] = zbase + lpns_per_zone;
+          agg_gran[z] = cfg_.max_aggregation == MapGranularity::kZone
+                            ? MapGranularity::kZone
+                            : MapGranularity::kChunk;
+        } else {
+          agg_end[z] = zbase + (snap.durable_normal_end / chunk_bytes) *
+                                   cfg_.lpns_per_chunk;
+          agg_gran[z] = MapGranularity::kChunk;
+        }
+      }
+    }
+    std::uint64_t accepted = 0;
+    const std::uint64_t num_lpns = table_.geometry().num_lpns;
+    for (std::size_t ri = 0; ri < img->mappings.size(); ++ri) {
+      const MapRun& run = img->mappings[ri];
+      if (run_clean[ri] != 0) {
+        // Clean runs install blind (image lpns are unique, and a clean
+        // run cannot collide with a scanned-in entry: any supersede of
+        // its data would have changed one of its blocks). Segment by
+        // zone and aggregation boundary for the final map bits.
+        std::uint64_t lpn = run.lpn;
+        std::uint64_t ppn = run.ppn;
+        std::uint64_t left = run.count;
+        while (left > 0) {
+          const std::uint64_t z = lpn / lpns_per_zone;
+          std::uint64_t seg_end = (z + 1) * lpns_per_zone;
+          MapGranularity gran = MapGranularity::kPage;
+          if (z < num_zones && lpn < agg_end[z]) {
+            seg_end = agg_end[z];
+            gran = agg_gran[z];
+          }
+          const std::uint64_t n = std::min(left, seg_end - lpn);
+          table_.InstallRunAtMount(Lpn{lpn}, Ppn{ppn}, n, gran);
+          lpn += n;
+          ppn += n;
+          left -= n;
+        }
+        accepted += run.count;
+        continue;
+      }
+      // Per-entry path: something under the run moved after the
+      // snapshot (pass A already dirtied the spanned zones). Each entry
+      // is re-checked against the media it points at — a slot torn or
+      // superseded after the snapshot rejects here, and the tail scan
+      // already supplied the truth.
+      for (std::uint64_t i = 0; i < run.count; ++i) {
+        const std::uint64_t lpn_v = run.lpn + i;
+        if (lpn_v >= num_lpns) {
+          ++recovery_.checkpoint_stale_dropped;
+          continue;
+        }
+        const Ppn ppn{run.ppn + i};
+        // PeekSlot: no fault RNG draws, same as the scan above.
+        const SlotRead r = array_.PeekSlot(ppn);
+        if (r.state != SlotState::kValid || !r.lpn.valid() ||
+            r.lpn.value() != lpn_v) {
+          ++recovery_.checkpoint_stale_dropped;
+          continue;
+        }
+        const MapEntry prev = table_.Get(Lpn{lpn_v});
+        if (prev.mapped()) {
+          // The tail scan installed this exact mapping already; anything
+          // else is a genuine double copy, same as the full scan.
+          if (prev.ppn == ppn) continue;
+          return Status::Internal("mount scan found two valid copies of lpn " +
+                                  std::to_string(lpn_v));
+        }
+        table_.Set(Lpn{lpn_v}, ppn);
+        ++accepted;
+      }
+    }
+    mapped += accepted;
+    recovery_.checkpoint_mappings += accepted;
+  }
   recovery_.replayed_mappings += mapped;
   return done;
 }
 
-Status ConZoneDevice::RecoverZone(ZoneId zone) {
+ConZoneDevice::ZoneReconcile ConZoneDevice::ReconcileZoneMapping(
+    ZoneId zone) const {
   const FlashGeometry& geo = cfg_.geometry;
-  ZoneRuntime& zr = runtime_[static_cast<std::size_t>(zone.value())];
-  zr = ZoneRuntime{};
+  ZoneReconcile rec;
   const Lpn zbase = ZoneBaseLpn(zone);
   const std::uint64_t slot = geo.slot_size;
   const std::uint64_t unit_lpns = geo.program_unit / slot;
@@ -1451,10 +1790,14 @@ Status ConZoneDevice::RecoverZone(ZoneId zone) {
   // 1. Durable normal prefix: whole one-shot units fully mapped from unit
   //    0 upward. A unit counts even when its slots were re-driven into
   //    SLC — the zone simply comes back degraded, like after a live
-  //    program failure.
+  //    program failure. A one-shot unit never spans blocks and its slots
+  //    are ppn-consecutive, so one NormalSlot call per unit anchors the
+  //    layout compare for all of its lpns.
   std::uint64_t u = 0;
   bool degraded = false;
   for (; u < normal_lpns / unit_lpns; ++u) {
+    const Ppn unit_base =
+        layout_.NormalSlot(SeqZone(zone), u * geo.program_unit);
     bool full = true;
     bool off_layout = false;
     for (std::uint64_t k = 0; k < unit_lpns; ++k) {
@@ -1464,38 +1807,32 @@ Status ConZoneDevice::RecoverZone(ZoneId zone) {
         full = false;
         break;
       }
-      if (e.ppn != layout_.NormalSlot(SeqZone(zone), rel * slot)) off_layout = true;
+      if (e.ppn.value() != unit_base.value() + k) off_layout = true;
     }
     if (!full) break;
     degraded |= off_layout;
   }
-  zr.durable_normal_end = u * geo.program_unit;
-  zr.degraded = degraded;
+  rec.durable_normal_end = u * geo.program_unit;
+  rec.degraded = degraded;
 
   // 2. Contiguous staged run beyond the durable prefix (SLC staging and,
   //    on a complete zone, the patch).
   std::uint64_t s = u * unit_lpns;
   while (s < zone_lpns && table_.Get(Lpn(zbase.value() + s)).mapped()) ++s;
-  zr.staged_end = s * slot;
+  rec.staged_end = s * slot;
 
-  // 3. Orphans: mapped islands beyond the reconciled write pointer are
-  //    unreachable under zone semantics. They are always unacknowledged
-  //    data — a host Flush waits for every outstanding pulse, so durable
-  //    content can never strand behind a hole. Drop them.
+  // 3. Mapped islands beyond the staged extent (early exit: the caller
+  //    only needs to know whether any exist).
   for (std::uint64_t k = s; k < zone_lpns; ++k) {
-    const Lpn lpn = Lpn(zbase.value() + k);
-    const MapEntry e = table_.Get(lpn);
-    if (!e.mapped()) continue;
-    if (array_.StateOfSlot(e.ppn) == SlotState::kValid) {
-      if (Status st = array_.InvalidateSlot(e.ppn); !st.ok()) return st;
+    if (table_.Get(Lpn(zbase.value() + k)).mapped()) {
+      rec.has_orphans = true;
+      break;
     }
-    table_.Unmap(lpn);
-    ++recovery_.orphaned_slots;
   }
 
   // 4. §III-E patch contiguity, rechecked against the stripe layout so
   //    aggregated reads stay sound after the remount.
-  if (zr.staged_end == cfg_.zone_size_bytes && layout_.patch_bytes() > 0) {
+  if (rec.staged_end == cfg_.zone_size_bytes && layout_.patch_bytes() > 0) {
     const MapEntry first = table_.Get(Lpn(zbase.value() + normal_lpns));
     bool contiguous = first.mapped();
     for (std::uint64_t k = 1; contiguous && k < zone_lpns - normal_lpns; ++k) {
@@ -1503,15 +1840,46 @@ Status ConZoneDevice::RecoverZone(ZoneId zone) {
       auto expect = layout_.StripeAdvance(first.ppn, k);
       if (!expect || !e.mapped() || e.ppn != *expect) contiguous = false;
     }
-    zr.patch_start = first.ppn;
-    zr.patch_contiguous = contiguous;
+    rec.patch_start = first.ppn;
+    rec.patch_contiguous = contiguous;
+  }
+  return rec;
+}
+
+Status ConZoneDevice::RecoverZone(ZoneId zone) {
+  const FlashGeometry& geo = cfg_.geometry;
+  ZoneRuntime& zr = runtime_[static_cast<std::size_t>(zone.value())];
+  zr = ZoneRuntime{};
+  const ZoneReconcile rec = ReconcileZoneMapping(zone);
+  zr.durable_normal_end = rec.durable_normal_end;
+  zr.staged_end = rec.staged_end;
+  zr.degraded = rec.degraded;
+  zr.patch_start = rec.patch_start;
+  zr.patch_contiguous = rec.patch_contiguous;
+
+  // Orphans: mapped islands beyond the reconciled write pointer are
+  // unreachable under zone semantics. They are always unacknowledged
+  // data — a host Flush waits for every outstanding pulse, so durable
+  // content can never strand behind a hole. Drop them.
+  if (rec.has_orphans) {
+    const Lpn zbase = ZoneBaseLpn(zone);
+    const std::uint64_t zone_lpns = LpnsPerZone();
+    for (std::uint64_t k = rec.staged_end / geo.slot_size; k < zone_lpns; ++k) {
+      const Lpn lpn = Lpn(zbase.value() + k);
+      const MapEntry e = table_.Get(lpn);
+      if (!e.mapped()) continue;
+      if (array_.StateOfSlot(e.ppn) == SlotState::kValid) {
+        if (Status st = array_.InvalidateSlot(e.ppn); !st.ok()) return st;
+      }
+      table_.Unmap(lpn);
+      ++recovery_.orphaned_slots;
+    }
   }
 
-  // 5. Re-stamp aggregation from scratch over the recovered durable state.
+  // Re-stamp aggregation from scratch over the recovered durable state,
+  // then restore host-visible zone state from the reconciled write
+  // pointer (ZNS after unexpected power off: EMPTY, CLOSED or FULL only).
   UpdateAggregation(zone, zr);
-
-  // 6. Host-visible zone state from the reconciled write pointer (ZNS
-  //    after unexpected power off: EMPTY, CLOSED or FULL only).
   zones_.RestoreAtMount(zone, zr.staged_end);
   return Status::Ok();
 }
@@ -1548,7 +1916,11 @@ Result<SimTime> ConZoneDevice::Recover(SimTime now) {
                             static_cast<std::uint64_t>(num_zones) * LpnsPerZone());
 
   // 4. Per-zone reconciliation: write pointers, staging extents,
-  //    aggregation, orphan slots.
+  //    aggregation, orphan slots. A zone whose snapshot is restorable
+  //    and that stayed clean through the scan (no entry dropped, no slot
+  //    sensed, no forced per-entry check) is byte-identical to the image
+  //    — restore its runtime from the snapshot instead of re-walking its
+  //    lpn range.
   for (std::uint32_t z = 0; z < num_zones; ++z) {
     const ZoneId zone{z};
     if (IsConventional(zone)) {
@@ -1556,6 +1928,23 @@ Result<SimTime> ConZoneDevice::Recover(SimTime now) {
       // from the rebuilt mapping alone.
       runtime_[z] = ZoneRuntime{};
       zones_.RestoreAtMount(zone, 0);
+      continue;
+    }
+    if (mount_have_snaps_ && zone_dirty_[z] == 0 &&
+        (mount_zone_snaps_[z].flags & ZoneSnap::kFlagRestorable) != 0) {
+      const ZoneSnap& snap = mount_zone_snaps_[z];
+      ZoneRuntime& zr = runtime_[z];
+      zr = ZoneRuntime{};
+      zr.durable_normal_end = snap.durable_normal_end;
+      zr.staged_end = snap.write_pointer;  // restorable ⇒ wp == staged end
+      zr.degraded = (snap.flags & ZoneSnap::kFlagDegraded) != 0;
+      zr.patch_start = Ppn{snap.patch_start};
+      zr.patch_contiguous = (snap.flags & ZoneSnap::kFlagPatchContiguous) != 0;
+      // Map bits were already written by the scan's bulk install;
+      // regenerate only counters and resolver pins.
+      UpdateAggregation(zone, zr, /*table_prestamped=*/true);
+      zones_.RestoreAtMount(zone, zr.staged_end);
+      ++recovery_.zones_restored;
       continue;
     }
     if (Status st = RecoverZone(zone); !st.ok()) return fail(st);

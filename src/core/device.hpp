@@ -117,6 +117,15 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
   bool powered_off() const { return powered_off_; }
   const RecoveryStats& recovery_stats() const { return recovery_; }
 
+  /// Force a checkpoint image right now (tests and studies; the policy
+  /// hooks in MaybeFlushL2pLog / Flush cover normal operation). Flushes
+  /// the L2P log tail first so the interval accounting stays coherent.
+  /// Requires checkpoint.enabled.
+  Result<SimTime> CheckpointNow(SimTime now);
+  const CheckpointStore& checkpoint_store() const { return ckpt_; }
+  /// Test hook (round-trip/corruption suites mutate slots directly).
+  CheckpointStore& mutable_checkpoint_store() { return ckpt_; }
+
   // --- Introspection (tests, benches, examples) ---
   const ConZoneConfig& config() const { return cfg_; }
   const ZoneLayout& layout() const { return layout_; }
@@ -224,7 +233,11 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
                                  std::vector<SlotWrite>& out, SimTime now);
 
   /// Stamp newly completed chunks / the zone aggregate (§III-C Fig. 5 ②).
-  void UpdateAggregation(ZoneId zone, ZoneRuntime& zr);
+  /// With `table_prestamped`, the per-entry map bits were already written
+  /// by the mount's bulk install — only the runtime counters, resolver
+  /// pins and stats are (re)generated, skipping the table pass.
+  void UpdateAggregation(ZoneId zone, ZoneRuntime& zr,
+                         bool table_prestamped = false);
 
   /// GC remap hook: fix mapping, cache, and any aggregation the move broke.
   void OnGcRemap(Lpn lpn, Ppn old_ppn, Ppn new_ppn);
@@ -233,6 +246,11 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
   /// full; the caller's operation blocks until the program completes.
   /// With `force`, also drains a below-threshold tail (host Flush/FUA).
   SimTime MaybeFlushL2pLog(SimTime now, bool force = false);
+
+  /// Serialize mapping + zone WPs + free lists into a checkpoint image,
+  /// charge its media cost (slot erase + chunked programs), and commit it
+  /// to the ping-pong store. Returns the image's media completion time.
+  SimTime WriteCheckpoint(SimTime now);
 
   /// Host-op prologue: refuse ops while powered off, advance the
   /// last-submission watermark, and prune journal/log state that a
@@ -245,6 +263,22 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
   /// OOB scan of all used blocks: rebuild the page-granularity mapping.
   /// Returns the scan completion time.
   Result<SimTime> RecoverScanMedia(SimTime now);
+  /// Pure zone reconciliation over the current mapping: the write-
+  /// pointer / staging / patch facts RecoverZone derives, with no side
+  /// effects. Shared by RecoverZone (which additionally invalidates
+  /// orphans and restores runtime) and WriteCheckpoint (which snapshots
+  /// the result into ZoneSnap records).
+  struct ZoneReconcile {
+    std::uint64_t durable_normal_end = 0;
+    std::uint64_t staged_end = 0;
+    Ppn patch_start;
+    bool degraded = false;
+    bool patch_contiguous = false;
+    /// Mapped lpns exist past staged_end (islands the mount path must
+    /// invalidate); such a zone is never checkpoint-restorable.
+    bool has_orphans = false;
+  };
+  ZoneReconcile ReconcileZoneMapping(ZoneId zone) const;
   /// Reconcile one zone: write pointer, staging extents, aggregation,
   /// orphan slots. `zone` is a sequential zone id.
   Status RecoverZone(ZoneId zone);
@@ -293,6 +327,12 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
   L2pLog l2p_log_;
   std::uint32_t l2p_log_chip_ = 0;  ///< Round-robin metadata program target.
   NormalAllocator conv_alloc_;      ///< Conventional-pool write pointer.
+  CheckpointStore ckpt_;            ///< Ping-pong checkpoint slots (§12).
+  std::uint32_t ckpt_chip_ = 0;     ///< Round-robin checkpoint program target.
+  /// L2P-log entries flushed since the last checkpoint image — the
+  /// interval policy counter. Survives cuts on purpose: the un-imaged
+  /// tail is still un-imaged after a remount.
+  std::uint64_t flushed_entries_since_ckpt_ = 0;
 
   std::vector<ZoneRuntime> runtime_;
   std::vector<SimTime> buffer_ready_;  ///< Per-buffer flush completion.
@@ -311,6 +351,23 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
   SimTime media_horizon_;
   /// Blocks whose erase the last cut tore; Recover() re-erases them.
   std::vector<BlockId> reerase_pending_;
+  /// Blocks the cut's undo pass revived older state in; a checkpoint-
+  /// bounded scan must read them even below the watermark.
+  std::vector<BlockId> rescan_pending_;
+  /// When the last cut landed — the checkpoint-age reference point.
+  SimTime last_cut_time_;
+  /// Per-block force-rescan flags, rebuilt from rescan_pending_ at each
+  /// mount (scratch, reused across remounts).
+  std::vector<std::uint8_t> rescan_flags_;
+  /// Per-zone mount dirt: set when anything diverged from the checkpoint
+  /// image for that zone (stale entry dropped, per-entry accept path,
+  /// tail-scan sense). A clean zone with a restorable snapshot restores
+  /// its runtime directly instead of re-reconciling.
+  std::vector<std::uint8_t> zone_dirty_;
+  /// Zone snapshots from the image the current mount loaded (empty when
+  /// mounting without a checkpoint).
+  std::vector<ZoneSnap> mount_zone_snaps_;
+  bool mount_have_snaps_ = false;
   RecoveryStats recovery_;
 
   /// One flash page touched by a read request and the slots it serves.

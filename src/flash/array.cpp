@@ -66,6 +66,12 @@ Status FlashArray::ProgramSlots(BlockId block, std::span<const SlotWrite> writes
       static_cast<std::uint64_t>(geo_.pages_per_block) * geo_.SlotsPerPage();
   const std::uint64_t base = block.value() * slots_per_block + meta.next_slot;
 
+  // The block is stamped even on the burn path below: the cells were
+  // pulsed, so a checkpoint-bounded mount scan must treat the block as
+  // touched after the watermark.
+  meta.last_program_seq = ++program_seq_;
+  meta.last_change_seq = meta.last_program_seq;
+
   if (fault_ != nullptr && fault_->enabled() &&
       fault_->ProgramFails(slc, meta.erase_count)) {
     // The pulse failed mid-program: the attempted slots hold garbage and
@@ -152,6 +158,10 @@ Status FlashArray::InvalidateSlot(Ppn ppn) {
   BlockMeta& meta = blocks_[static_cast<std::size_t>(geo_.BlockOfSlot(ppn).value())];
   assert(meta.valid_slots > 0);
   meta.valid_slots--;
+  // Invalidation changes slot state without a program pulse: stamp the
+  // change counter (not the program stamp — OOB senses stay skippable)
+  // so checkpoint entries into this block are re-verified at mount.
+  meta.last_change_seq = ++program_seq_;
   return Status::Ok();
 }
 
@@ -198,6 +208,8 @@ Status FlashArray::EraseBlock(BlockId block) {
   }
   meta.next_slot = 0;
   meta.valid_slots = 0;
+  meta.last_program_seq = 0;
+  meta.last_change_seq = ++program_seq_;
   meta.erase_count++;
   if (slc) {
     counters_.erases_slc++;
@@ -245,6 +257,7 @@ void FlashArray::ScrubBlock(BlockId block) {
     if (s.state != SlotState::kFree) s.state = SlotState::kInvalid;
   }
   meta.valid_slots = 0;
+  meta.last_change_seq = ++program_seq_;
 }
 
 SlotState FlashArray::StateOfSlot(Ppn ppn) const {
@@ -326,8 +339,12 @@ void FlashArray::UndoInvalidate(const JournalEntry& e, SimTime cut,
   // with a freed slot; a restored erase pre-image puts it back kInvalid.
   if (s.state != SlotState::kInvalid) return;
   s.state = SlotState::kValid;
-  blocks_[static_cast<std::size_t>(geo_.BlockOfSlot(e.ppn).value())].valid_slots++;
+  const BlockId block = geo_.BlockOfSlot(e.ppn);
+  blocks_[static_cast<std::size_t>(block.value())].valid_slots++;
   report.resurrected_slots++;
+  // The revived copy may live in a block older than any checkpoint
+  // watermark while the checkpoint maps its lpn elsewhere.
+  report.rescan.push_back(block);
 }
 
 void FlashArray::UndoErase(JournalEntry& e, SimTime cut, PowerCutReport& report) {
@@ -345,8 +362,16 @@ void FlashArray::UndoErase(JournalEntry& e, SimTime cut, PowerCutReport& report)
   for (std::uint64_t i = 0; i < slots_per_block; ++i) {
     slots_[static_cast<std::size_t>(base + i)] = e.image[static_cast<std::size_t>(i)];
   }
-  blocks_[static_cast<std::size_t>(e.block.value())] = e.prior_meta;
+  BlockMeta& meta = blocks_[static_cast<std::size_t>(e.block.value())];
+  // Keep the change stamp monotone across the undo: the pre-image block
+  // must look dirty to a checkpoint older than the undone erase.
+  const std::uint64_t change = std::max(meta.last_change_seq, e.prior_meta.last_change_seq);
+  meta = e.prior_meta;
+  meta.last_change_seq = change;
   report.restored_erases++;
+  // The pre-image (with prior_meta's old program stamp) is back on the
+  // media; a checkpoint taken after the erase knows nothing about it.
+  report.rescan.push_back(e.block);
 }
 
 FlashArray::PowerCutReport FlashArray::ApplyPowerCut(SimTime cut) {

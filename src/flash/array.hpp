@@ -173,6 +173,12 @@ class FlashArray {
     /// Blocks whose erase was in flight at the cut: content untrusted,
     /// recovery must EraseBlock them again (with real timing + faults).
     std::vector<BlockId> reerase;
+    /// Blocks the undo pass made *older state visible* in — resurrected
+    /// slots and restored erase pre-images. A checkpoint taken before the
+    /// cut may map these blocks' lpns elsewhere (or not at all), so a
+    /// checkpoint-bounded mount scan must rescan them even though their
+    /// last program seq predates the checkpoint. May contain duplicates.
+    std::vector<BlockId> rescan;
   };
 
   /// Turn undo journaling on. Off (default) costs nothing on the hot
@@ -209,6 +215,27 @@ class FlashArray {
   // --- Inspectors ---
   SlotState StateOfSlot(Ppn ppn) const;
   std::uint32_t NextProgramSlot(BlockId block) const;
+  /// Global program batch counter: incremented once per ProgramSlots call
+  /// (success or fault burn) and stamped into the target block. A
+  /// checkpoint records this watermark; at mount, blocks whose stamp is
+  /// at or below the watermark held exactly the data the checkpoint saw.
+  std::uint64_t program_seq() const { return program_seq_; }
+  /// Stamp of the most recent program batch into `block` (0 = never
+  /// programmed since its last successful erase). Inline: the recovery
+  /// scan probes every block once per mapping run.
+  std::uint64_t LastProgramSeq(BlockId block) const {
+    return blocks_[static_cast<std::size_t>(block.value())].last_program_seq;
+  }
+  /// Stamp of the most recent slot-state change in `block` — programs,
+  /// invalidations, erases and scrubs all count (same counter domain as
+  /// program_seq()). A checkpoint image entry pointing into a block whose
+  /// change stamp is at or below the image's watermark is still exactly
+  /// what the snapshot saw, so mount may accept it without re-reading
+  /// the slot. Never rolled back by power-cut undo (conservative: an
+  /// undone block looks dirty, and the forced-rescan list covers it).
+  std::uint64_t LastChangeSeq(BlockId block) const {
+    return blocks_[static_cast<std::size_t>(block.value())].last_change_seq;
+  }
   /// Usable slot capacity of the block (derated for SLC blocks).
   std::uint32_t UsableSlots(BlockId block) const;
   bool BlockFull(BlockId block) const;
@@ -227,6 +254,8 @@ class FlashArray {
     std::uint32_t next_slot = 0;   // sequential-programming cursor
     std::uint32_t valid_slots = 0;
     std::uint32_t erase_count = 0;
+    std::uint64_t last_program_seq = 0;  // global batch stamp, 0 after erase
+    std::uint64_t last_change_seq = 0;   // any slot-state change (monotone)
     BlockHealth health = BlockHealth::kGood;
   };
 
@@ -266,6 +295,7 @@ class FlashArray {
   // accounting; the fault draw mutates only these two members.
   mutable ReliabilityStats rel_;
   FaultModel* fault_ = nullptr;
+  std::uint64_t program_seq_ = 0;
   bool journal_on_ = false;
   bool journal_paused_ = false;
   std::deque<JournalEntry> journal_;

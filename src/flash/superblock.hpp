@@ -60,6 +60,10 @@ class SuperblockPool {
   std::uint32_t TotalNormalCount() const { return geo_.NumNormalSuperblocks(); }
   bool IsFreeNormal(SuperblockId sb) const;
 
+  /// Free-list snapshots in list order, for checkpoint serialization.
+  const std::deque<SuperblockId>& FreeSlcList() const { return free_slc_; }
+  const std::deque<SuperblockId>& FreeNormalList() const { return free_normal_; }
+
   /// Sum of per-chip block erase counts for `sb` (0 without wear source).
   std::uint64_t EraseSum(SuperblockId sb) const;
 

@@ -1,5 +1,6 @@
 #include "ftl/mapping.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/units.hpp"
@@ -20,6 +21,38 @@ void MappingTable::Set(Lpn lpn, Ppn ppn) {
   if (!e.mapped()) ++mapped_;
   e.ppn = ppn;
   e.gran = MapGranularity::kPage;
+}
+
+void MappingTable::InstallRunAtMount(Lpn lpn, Ppn ppn, std::uint64_t count,
+                                     MapGranularity gran) {
+  assert(lpn.value() + count <= geo_.num_lpns);
+  MapEntry* e = &entries_[static_cast<std::size_t>(lpn.value())];
+  MapEntry v;
+  v.gran = gran;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    v.ppn = Ppn{ppn.value() + i};
+    e[i] = v;  // whole-struct store: full-width writes, no read-modify-write
+  }
+  mapped_ += count;
+}
+
+void MappingTable::ClearForMountExcept(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& keep) {
+  std::uint64_t pos = 0;
+  for (const auto& [lpn, count] : keep) {
+    assert(lpn >= pos && lpn + count <= geo_.num_lpns &&
+           "keep ranges must be sorted, disjoint and in bounds");
+    // max(): stay safe on release builds if the caller's list overlaps —
+    // the region is still cleared-or-installed, never skipped.
+    for (std::uint64_t i = pos; i < lpn; ++i) {
+      entries_[static_cast<std::size_t>(i)] = MapEntry{};
+    }
+    pos = std::max(pos, lpn + count);
+  }
+  for (std::uint64_t i = pos; i < geo_.num_lpns; ++i) {
+    entries_[static_cast<std::size_t>(i)] = MapEntry{};
+  }
+  mapped_ = 0;
 }
 
 void MappingTable::Unmap(Lpn lpn) {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -56,6 +57,28 @@ class MappingTable {
   /// aggregation covering `lpn` must have been downgraded first.
   void Set(Lpn lpn, Ppn ppn);
 
+  /// Bulk install of `count` consecutive lpns to consecutive ppns with
+  /// the given map bits, for the mount fast path only: pure streaming
+  /// stores — no per-entry occupancy check, no per-call overhead. The
+  /// target range may still hold stale pre-mount bytes (see
+  /// ClearForMountExcept); the mount's Σvalid == mapped gate catches a
+  /// range that is double-installed or never overwritten. The caller
+  /// passes the aggregation granularity the entries will end up with so
+  /// the remount needs no second stamping pass over the table.
+  void InstallRunAtMount(Lpn lpn, Ppn ppn, std::uint64_t count,
+                         MapGranularity gran);
+
+  /// Power-loss remount variant of ClearAllForMount for when the caller
+  /// already knows which lpn ranges it will immediately re-install
+  /// (checkpoint runs whose media is untouched): zeroes only the gaps
+  /// between the `keep` ranges — sorted by lpn, disjoint, in bounds —
+  /// plus the tail, and resets the mapped count. Entries inside keep
+  /// ranges retain stale bytes until InstallRunAtMount overwrites them;
+  /// rewriting the whole table is the mount fast path's single biggest
+  /// cost, so touching each entry exactly once is the point.
+  void ClearForMountExcept(
+      const std::vector<std::pair<std::uint64_t, std::uint64_t>>& keep);
+
   /// Drop the mapping (zone reset / TRIM).
   void Unmap(Lpn lpn);
 
@@ -86,6 +109,15 @@ class MappingTable {
   /// Power-loss remount: drop every entry (and all aggregation) so the
   /// recovery scan can rebuild the table from media OOB state.
   void ClearAllForMount();
+
+  /// Visit every mapped entry in lpn order as fn(Lpn, Ppn) — checkpoint
+  /// serialization walks the table without exposing the entry vector.
+  template <typename Fn>
+  void ForEachMapped(Fn&& fn) const {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].mapped()) fn(Lpn(i), entries_[i].ppn);
+    }
+  }
 
  private:
   MappingGeometry geo_;

@@ -1,0 +1,621 @@
+// Durable L2P checkpoints (DESIGN.md §12).
+//
+// Covers: image wire-format round-trip and rejection of corrupt,
+// truncated and malformed blobs; ping-pong slot election including
+// sequence ties, serial-number wraparound and torn-slot fallback; the
+// device-level policy hooks (interval, host flush, CheckpointNow);
+// checkpoint-bounded tail scans at remount; reset- and rebuild-epoch
+// regressions (a stale image must never resurrect dead mappings); the
+// full crash sweep and random-cut matrix with checkpointing enabled;
+// bit-identical recovery against a checkpoint-off twin; and an opt-in
+// random-interval soak (CONZONE_CRASH_SOAK=1).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "conzone/conzone.hpp"
+
+namespace conzone {
+namespace {
+
+ConZoneConfig SmallConfig() {
+  ConZoneConfig cfg = ConZoneConfig::PaperConfig();
+  cfg.geometry.blocks_per_chip = 20;  // 4 SLC + 16 normal => 16 zones
+  cfg.geometry.slc_blocks_per_chip = 4;
+  return cfg;
+}
+
+ConZoneConfig CrashConfig() {
+  ConZoneConfig cfg = SmallConfig();
+  cfg.fault.power_loss = true;
+  cfg.l2p_log.enabled = true;
+  return cfg;
+}
+
+/// CrashConfig + checkpointing tuned so short test runs cross the
+/// interval and the per-Flush hook both fire.
+ConZoneConfig CkptCrashConfig(std::uint64_t interval = 128,
+                              std::uint64_t min_flush = 32) {
+  ConZoneConfig cfg = CrashConfig();
+  cfg.checkpoint.enabled = true;
+  cfg.checkpoint.interval_entries = interval;
+  cfg.checkpoint.min_flush_entries = min_flush;
+  return cfg;
+}
+
+/// A representative image exercising every payload section.
+CheckpointImage SampleImage(std::uint64_t seq = 3) {
+  CheckpointImage img;
+  img.seq = seq;
+  img.program_seq = 977;
+  img.mappings = {{0, 41, 2}, {7, 4096, 3}, {4095, 9, 1}};
+  img.zones = {
+      ZoneSnap{0, 0, ~0ull, ZoneSnap::kFlagRestorable},
+      ZoneSnap{65536, 65536, 7, ZoneSnap::kFlagPatchContiguous},
+      ZoneSnap{4096, 0, ~0ull, 0},
+      ZoneSnap{0, 0, ~0ull, ZoneSnap::kFlagDegraded},
+  };
+  img.free_slc = {2, 3};
+  img.free_normal = {11, 12, 13};
+  return img;
+}
+
+std::vector<std::uint64_t> Tokens(std::uint64_t first, std::uint64_t n,
+                                  std::uint64_t salt = 0) {
+  std::vector<std::uint64_t> t(n);
+  for (std::uint64_t i = 0; i < n; ++i) t[i] = (first + i) * 7919 + salt + 1;
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Image wire format
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointImageTest, EncodeDecodeRoundTrip) {
+  const CheckpointImage img = SampleImage();
+  const auto blob = img.Encode();
+  const auto back = CheckpointImage::Decode(blob);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seq, img.seq);
+  EXPECT_EQ(back->program_seq, img.program_seq);
+  EXPECT_EQ(back->mappings, img.mappings);
+  EXPECT_EQ(back->zones, img.zones);
+  EXPECT_EQ(back->free_slc, img.free_slc);
+  EXPECT_EQ(back->free_normal, img.free_normal);
+}
+
+TEST(CheckpointImageTest, EmptyImageRoundTrips) {
+  CheckpointImage img;
+  img.seq = 1;
+  const auto back = CheckpointImage::Decode(img.Encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seq, 1u);
+  EXPECT_TRUE(back->mappings.empty());
+  EXPECT_TRUE(back->zones.empty());
+}
+
+TEST(CheckpointImageTest, StridedRunFoldingRoundTripsLosslessly) {
+  CheckpointImage img;
+  img.seq = 9;
+  // A chip-striped zone: equal-length lpn-contiguous runs whose ppns
+  // advance by a constant stride, that whole interleave repeating with a
+  // second-level stride — the shape Encode folds to one super record.
+  std::uint64_t lpn = 0;
+  for (std::uint64_t rep = 0; rep < 16; ++rep) {
+    for (std::uint64_t w = 0; w < 4; ++w) {
+      img.mappings.push_back(MapRun{lpn, 1000 + rep * 24 + w * 40320, 24});
+      lpn += 24;
+    }
+  }
+  // A descending progression (the stride wraps as an unsigned delta).
+  lpn += 13;
+  for (std::uint64_t w = 0; w < 3; ++w) {
+    img.mappings.push_back(MapRun{lpn, 500000 - w * 1000, 8});
+    lpn += 8;
+  }
+  // And an irregular tail that must stay per-run.
+  img.mappings.push_back(MapRun{lpn + 5, 9, 1});
+  img.mappings.push_back(MapRun{lpn + 9, 777, 2});
+  const auto blob = img.Encode();
+  // Folded: far below one record per run.
+  EXPECT_LT(blob.size(), (8 + 3 * img.mappings.size() + 1) * 8);
+  const auto back = CheckpointImage::Decode(blob);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->mappings, img.mappings);
+}
+
+TEST(CheckpointImageTest, EverySingleByteCorruptionIsRejected) {
+  const auto blob = SampleImage().Encode();
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    auto bad = blob;
+    bad[i] ^= 0xFF;
+    EXPECT_FALSE(CheckpointImage::Decode(bad).has_value())
+        << "byte " << i << " corruption slipped past the checksum";
+  }
+}
+
+TEST(CheckpointImageTest, TruncatedAndMisalignedBlobsAreRejected) {
+  const auto blob = SampleImage().Encode();
+  for (std::size_t len : {std::size_t{0}, std::size_t{8}, blob.size() - 8,
+                          blob.size() - 1, blob.size() + 8}) {
+    auto bad = blob;
+    bad.resize(len);
+    EXPECT_FALSE(CheckpointImage::Decode(bad).has_value()) << "len " << len;
+  }
+}
+
+TEST(CheckpointImageTest, SeqNewerUsesSerialNumberArithmetic) {
+  EXPECT_TRUE(CheckpointImage::SeqNewer(2, 1));
+  EXPECT_FALSE(CheckpointImage::SeqNewer(1, 2));
+  EXPECT_FALSE(CheckpointImage::SeqNewer(5, 5));
+  // Wraparound: 0 and 1 are newer than the pre-wrap maximum.
+  EXPECT_TRUE(CheckpointImage::SeqNewer(0, ~0ull));
+  EXPECT_TRUE(CheckpointImage::SeqNewer(1, ~0ull));
+  EXPECT_FALSE(CheckpointImage::SeqNewer(~0ull, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Slot store: ping-pong, election, torn writes
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointStoreTest, PingPongAlwaysTargetsTheOtherSlot) {
+  CheckpointStore store;
+  EXPECT_EQ(store.NextSlot(), 0);
+  EXPECT_EQ(store.NextSeq(), 1u);
+  store.Commit(0, SampleImage(1).Encode(), 1, SimTime::FromNanos(100));
+  EXPECT_EQ(store.NextSlot(), 1);
+  EXPECT_EQ(store.NextSeq(), 2u);
+  store.Commit(1, SampleImage(2).Encode(), 2, SimTime::FromNanos(200));
+  EXPECT_EQ(store.NextSlot(), 0);
+  ASSERT_NE(store.NewestValid(), nullptr);
+  EXPECT_EQ(store.NewestValid()->seq, 2u);
+}
+
+TEST(CheckpointStoreTest, SequenceTieElectsLowerSlot) {
+  CheckpointStore store;
+  store.Commit(0, SampleImage(5).Encode(), 5, SimTime::FromNanos(100));
+  store.Commit(1, SampleImage(5).Encode(), 5, SimTime::FromNanos(200));
+  ASSERT_NE(store.NewestValid(), nullptr);
+  EXPECT_EQ(store.NewestValid(), &store.slot(0));
+}
+
+TEST(CheckpointStoreTest, WraparoundElectsPostWrapImage) {
+  CheckpointStore store;
+  store.Commit(0, SampleImage(~0ull).Encode(), ~0ull, SimTime::FromNanos(100));
+  store.Commit(1, SampleImage(0).Encode(), 0, SimTime::FromNanos(200));
+  ASSERT_NE(store.NewestValid(), nullptr);
+  EXPECT_EQ(store.NewestValid(), &store.slot(1));
+  EXPECT_EQ(store.NextSeq(), 1u);
+}
+
+TEST(CheckpointStoreTest, CutMidWriteTearsOnlyTheInFlightSlot) {
+  CheckpointStore store;
+  store.Commit(0, SampleImage(1).Encode(), 1, SimTime::FromNanos(1000));
+  store.Commit(1, SampleImage(2).Encode(), 2, SimTime::FromNanos(2000));
+  // Cut lands after slot 0's completion but inside slot 1's write.
+  EXPECT_EQ(store.ApplyPowerCut(SimTime::FromNanos(1500)), 1u);
+  ASSERT_NE(store.NewestValid(), nullptr);
+  EXPECT_EQ(store.NewestValid()->seq, 1u);
+  // The torn slot is reusable as the next target.
+  EXPECT_EQ(store.NextSlot(), 1);
+}
+
+TEST(CheckpointStoreTest, BothSlotsTornFallsBackToNothing) {
+  CheckpointStore store;
+  store.Commit(0, SampleImage(1).Encode(), 1, SimTime::FromNanos(1000));
+  store.Commit(1, SampleImage(2).Encode(), 2, SimTime::FromNanos(2000));
+  EXPECT_EQ(store.ApplyPowerCut(SimTime::FromNanos(500)), 2u);
+  EXPECT_EQ(store.NewestValid(), nullptr);
+  EXPECT_EQ(store.NextSlot(), 0);
+  EXPECT_EQ(store.NextSeq(), 1u);
+}
+
+TEST(CheckpointStoreTest, CorruptNewestLosesElectionToOlderImage) {
+  CheckpointStore store;
+  store.Commit(0, SampleImage(1).Encode(), 1, SimTime::FromNanos(100));
+  store.Commit(1, SampleImage(2).Encode(), 2, SimTime::FromNanos(200));
+  store.CorruptByteForTest(1, 16);
+  ASSERT_NE(store.NewestValid(), nullptr);
+  EXPECT_EQ(store.NewestValid()->seq, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Device policy hooks and configuration
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointDeviceTest, CheckpointNowRequiresEnabledConfig) {
+  auto dev = ConZoneDevice::Create(CrashConfig());
+  ASSERT_TRUE(dev.ok());
+  EXPECT_EQ((*dev)->CheckpointNow(SimTime::Zero()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointDeviceTest, CheckpointingRequiresL2pLog) {
+  ConZoneConfig cfg = CkptCrashConfig();
+  cfg.l2p_log.enabled = false;
+  EXPECT_EQ(ConZoneDevice::Create(cfg).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointDeviceTest, EmptyDeviceCheckpointRoundTrips) {
+  auto dev = ConZoneDevice::Create(CkptCrashConfig());
+  ASSERT_TRUE(dev.ok());
+  ConZoneDevice& d = **dev;
+  auto ck = d.CheckpointNow(SimTime::Zero());
+  ASSERT_TRUE(ck.ok()) << ck.status().ToString();
+  EXPECT_EQ(d.recovery_stats().checkpoints_written, 1u);
+
+  ASSERT_TRUE(d.PowerCut(ck.value()).ok());
+  auto r = d.Recover(ck.value());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(d.recovery_stats().checkpoint_loaded, 1u);
+  EXPECT_EQ(d.recovery_stats().checkpoint_mappings, 0u);
+  EXPECT_EQ(d.mapping().mapped_count(), 0u);
+  // The device serves writes again after an image-served empty mount.
+  EXPECT_TRUE(d.Write(0, 4096, r.value()).ok());
+}
+
+TEST(CheckpointDeviceTest, IntervalPolicyWritesCheckpointsWithoutHostFlush) {
+  ConZoneConfig cfg = CkptCrashConfig(/*interval=*/64);
+  cfg.checkpoint.on_host_flush = false;
+  auto dev = ConZoneDevice::Create(cfg);
+  ASSERT_TRUE(dev.ok());
+  ConZoneDevice& d = **dev;
+  const std::uint64_t zone_bytes = d.config().zone_size_bytes;
+  SimTime t;
+  for (std::uint64_t z = 0; z < 4; ++z) {
+    auto w = d.Write(z * zone_bytes, zone_bytes, t);
+    ASSERT_TRUE(w.ok()) << w.status().ToString();
+    t = w.value();
+  }
+  EXPECT_GT(d.recovery_stats().checkpoints_written, 0u);
+}
+
+TEST(CheckpointDeviceTest, HostFlushPolicyHonorsMinimumEntryFloor) {
+  auto dev = ConZoneDevice::Create(
+      CkptCrashConfig(/*interval=*/1 << 30, /*min_flush=*/16));
+  ASSERT_TRUE(dev.ok());
+  ConZoneDevice& d = **dev;
+  // 4 slots < the 16-entry floor: the flush must not pay for an image.
+  auto w = d.Write(0, 4 * 4096, SimTime::Zero());
+  ASSERT_TRUE(w.ok());
+  auto f = d.Flush(w.value());
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(d.recovery_stats().checkpoints_written, 0u);
+  // 28 more cross it: the next flush checkpoints.
+  auto w2 = d.Write(4 * 4096, 28 * 4096, f.value());
+  ASSERT_TRUE(w2.ok());
+  auto f2 = d.Flush(w2.value());
+  ASSERT_TRUE(f2.ok());
+  EXPECT_EQ(d.recovery_stats().checkpoints_written, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint-bounded remount
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointDeviceTest, MountSkipsBlocksOlderThanTheWatermark) {
+  // Only explicit checkpoints: the tail is exactly what lands after
+  // CheckpointNow.
+  ConZoneConfig cfg = CkptCrashConfig(/*interval=*/1 << 30);
+  cfg.checkpoint.on_host_flush = false;
+  auto dev = ConZoneDevice::Create(cfg);
+  ASSERT_TRUE(dev.ok());
+  ConZoneDevice& d = **dev;
+  const std::uint64_t zone_bytes = d.config().zone_size_bytes;
+  const std::uint64_t zone_slots = zone_bytes / 4096;
+
+  // Two full zones reach media, then checkpoint, then a small tail.
+  const auto tok0 = Tokens(0, zone_slots);
+  const auto tok1 = Tokens(zone_slots, zone_slots);
+  auto w0 = d.Write(0, zone_bytes, SimTime::Zero(), tok0);
+  ASSERT_TRUE(w0.ok());
+  auto w1 = d.Write(zone_bytes, zone_bytes, w0.value(), tok1);
+  ASSERT_TRUE(w1.ok());
+  auto f = d.Flush(w1.value());
+  ASSERT_TRUE(f.ok());
+  auto ck = d.CheckpointNow(f.value());
+  ASSERT_TRUE(ck.ok()) << ck.status().ToString();
+
+  const auto tail = Tokens(9000, 16);
+  auto w2 = d.Write(2 * zone_bytes, 16 * 4096, ck.value(), tail);
+  ASSERT_TRUE(w2.ok());
+  auto f2 = d.Flush(w2.value());
+  ASSERT_TRUE(f2.ok());
+
+  ASSERT_TRUE(d.PowerCut(f2.value()).ok());
+  auto r = d.Recover(f2.value());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  const RecoveryStats& rs = d.recovery_stats();
+  EXPECT_EQ(rs.checkpoint_loaded, 1u);
+  EXPECT_GT(rs.checkpoint_mappings, 0u);
+  // The checkpointed zones' blocks sit below the watermark: the scan
+  // skipped more used pages than it sensed.
+  EXPECT_GT(rs.pages_skipped, 0u);
+  EXPECT_GT(rs.pages_skipped, rs.pages_scanned);
+
+  std::vector<std::uint64_t> got;
+  ASSERT_TRUE(d.Read(0, zone_bytes, r.value(), &got).ok());
+  EXPECT_EQ(got, tok0);
+  ASSERT_TRUE(d.Read(zone_bytes, zone_bytes, r.value(), &got).ok());
+  EXPECT_EQ(got, tok1);
+  ASSERT_TRUE(d.Read(2 * zone_bytes, 16 * 4096, r.value(), &got).ok());
+  EXPECT_EQ(got, tail);
+  EXPECT_EQ(d.zones().Info(ZoneId{2}).write_pointer, 16 * 4096u);
+}
+
+TEST(CheckpointDeviceTest, ZoneResetAfterCheckpointDoesNotResurrectOldEpoch) {
+  ConZoneConfig cfg = CkptCrashConfig(/*interval=*/1 << 30);
+  cfg.checkpoint.on_host_flush = false;
+  auto dev = ConZoneDevice::Create(cfg);
+  ASSERT_TRUE(dev.ok());
+  ConZoneDevice& d = **dev;
+  const std::uint64_t zone_bytes = d.config().zone_size_bytes;
+  const std::uint64_t zone_slots = zone_bytes / 4096;
+
+  // Epoch 1 fills the zone and is captured by a checkpoint image.
+  auto w = d.Write(0, zone_bytes, SimTime::Zero(), Tokens(0, zone_slots));
+  ASSERT_TRUE(w.ok());
+  auto f = d.Flush(w.value());
+  ASSERT_TRUE(f.ok());
+  auto ck = d.CheckpointNow(f.value());
+  ASSERT_TRUE(ck.ok());
+
+  // Epoch 2: reset, rewrite a short prefix, make it durable, cut.
+  auto rz = d.ResetZone(ZoneId{0}, ck.value());
+  ASSERT_TRUE(rz.ok()) << rz.status().ToString();
+  const auto fresh = Tokens(5000, 8);
+  auto w2 = d.Write(0, 8 * 4096, rz.value(), fresh);
+  ASSERT_TRUE(w2.ok());
+  auto f2 = d.Flush(w2.value());
+  ASSERT_TRUE(f2.ok());
+  ASSERT_TRUE(d.PowerCut(f2.value()).ok());
+  auto r = d.Recover(f2.value());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  // The stale image entries pointed at erased or re-owned slots and must
+  // have been dropped, not replayed.
+  EXPECT_EQ(d.recovery_stats().checkpoint_loaded, 1u);
+  EXPECT_GT(d.recovery_stats().checkpoint_stale_dropped, 0u);
+  EXPECT_EQ(d.zones().Info(ZoneId{0}).write_pointer, 8 * 4096u);
+  std::vector<std::uint64_t> got;
+  ASSERT_TRUE(d.Read(0, 8 * 4096, r.value(), &got).ok());
+  EXPECT_EQ(got, fresh);
+  // Nothing from epoch 1 is readable past the recovered pointer.
+  EXPECT_FALSE(d.Read(8 * 4096, 4096, r.value()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Crash sweeps with checkpointing enabled (tier-1 property suite)
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointCrashTest, EveryOpBoundaryRecoversConsistent) {
+  constexpr std::size_t kOps = 48;
+  for (std::size_t k = 1; k <= kOps; ++k) {
+    CrashHarness::Options opt;
+    opt.seed = 42;
+    CrashHarness h(CkptCrashConfig(), opt);
+    ASSERT_TRUE(h.Init().ok());
+    ASSERT_TRUE(h.RunOps(k).ok()) << "ops=" << k;
+    const double frac = (k % 3 == 0) ? 0.0 : (k % 3 == 1) ? 0.5 : 1.0;
+    ASSERT_TRUE(h.Cut(frac).ok()) << "ops=" << k;
+    Status st = h.RecoverAndVerify();
+    ASSERT_TRUE(st.ok()) << "cut after op " << k << " (frac " << frac
+                         << "): " << st.message();
+  }
+}
+
+TEST(CheckpointCrashTest, RandomCutTimesAcrossSeedsRecoverConsistent) {
+  Rng pick(0xD00DF00Dull);
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    CrashHarness::Options opt;
+    opt.seed = seed;
+    CrashHarness h(CkptCrashConfig(), opt);
+    ASSERT_TRUE(h.Init().ok());
+    ASSERT_TRUE(h.RunOps(10 + pick.NextBelow(40)).ok()) << "seed=" << seed;
+    ASSERT_TRUE(h.Cut(pick.NextDouble() * 1.5).ok()) << "seed=" << seed;
+    Status st = h.RecoverAndVerify();
+    ASSERT_TRUE(st.ok()) << "seed " << seed << ": " << st.message();
+  }
+}
+
+TEST(CheckpointCrashTest, CutsDuringCheckpointWritesFallBackCleanly) {
+  // A tight interval keeps an image write in flight much of the time, so
+  // random cuts repeatedly land inside one; recovery must fall back to
+  // the previous image (or the full scan) and stay consistent.
+  CrashHarness::Options opt;
+  opt.seed = 13;
+  opt.flush_prob = 0.25;
+  CrashHarness h(CkptCrashConfig(/*interval=*/32, /*min_flush=*/8), opt);
+  ASSERT_TRUE(h.Init().ok());
+  Rng pick(0x7EA4ull);
+  for (int round = 0; round < 40; ++round) {
+    ASSERT_TRUE(h.RunOps(6 + pick.NextBelow(18)).ok()) << "round=" << round;
+    ASSERT_TRUE(h.Cut(pick.NextDouble() * 1.5).ok()) << "round=" << round;
+    Status st = h.RecoverAndVerify();
+    ASSERT_TRUE(st.ok()) << "round " << round << ": " << st.message();
+  }
+  const RecoveryStats& rs = h.device().recovery_stats();
+  EXPECT_GT(rs.checkpoints_written, 0u);
+  EXPECT_GT(rs.checkpoints_torn, 0u) << "no cut ever landed mid-image";
+  EXPECT_GT(rs.checkpoint_loaded, 0u);
+}
+
+/// The durable readable prefix of one member zone, slot by slot.
+std::vector<std::uint64_t> MemberZonePrefix(StorageDevice& dev,
+                                            std::uint64_t zone, SimTime now) {
+  const DeviceInfo di = dev.info();
+  const std::uint64_t mzs = di.zone_size_bytes;
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t off = 0; off < mzs; off += di.io_alignment) {
+    auto r = dev.Read(IoRequest{zone * mzs + off, di.io_alignment, now, {},
+                                /*want_tokens=*/true});
+    if (!r.ok()) break;
+    out.push_back(r.value().tokens[0]);
+  }
+  return out;
+}
+
+TEST(CheckpointCrashTest, FastPathRecoversBitIdenticalToFullScan) {
+  // Twin devices, same seed, same ops, same cut: one mounts via the
+  // newest image + tail scan, the reference ignores images and does the
+  // full scan. Recovered state must match bit for bit. (The checker
+  // fingerprint mixes the remount DURATION — which the fast path exists
+  // to change — so the comparison reads the state out directly.)
+  ConZoneConfig fast_cfg = CkptCrashConfig(/*interval=*/64, /*min_flush=*/16);
+  ConZoneConfig full_cfg = fast_cfg;
+  full_cfg.checkpoint.load_at_mount = false;
+
+  CrashHarness::Options opt;
+  opt.seed = 2718;
+  CrashHarness fast(fast_cfg, opt);
+  CrashHarness full(full_cfg, opt);
+  ASSERT_TRUE(fast.Init().ok());
+  ASSERT_TRUE(full.Init().ok());
+
+  Rng pick(0xFA57ull);
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t ops = 12 + pick.NextBelow(24);
+    const double frac = pick.NextDouble() * 1.3;
+    ASSERT_TRUE(fast.RunOps(ops).ok()) << "round=" << round;
+    ASSERT_TRUE(full.RunOps(ops).ok()) << "round=" << round;
+    ASSERT_TRUE(fast.Cut(frac).ok()) << "round=" << round;
+    ASSERT_TRUE(full.Cut(frac).ok()) << "round=" << round;
+    Status sa = fast.RecoverAndVerify();
+    ASSERT_TRUE(sa.ok()) << "fast round " << round << ": " << sa.message();
+    Status sb = full.RecoverAndVerify();
+    ASSERT_TRUE(sb.ok()) << "full round " << round << ": " << sb.message();
+
+    const std::uint32_t zones = fast.device().info().num_zones;
+    for (std::uint32_t z = 0; z < zones; ++z) {
+      EXPECT_EQ(fast.device().zones().Info(ZoneId{z}).write_pointer,
+                full.device().zones().Info(ZoneId{z}).write_pointer)
+          << "round " << round << " zone " << z;
+      EXPECT_EQ(MemberZonePrefix(fast.device(), z, fast.now()),
+                MemberZonePrefix(full.device(), z, full.now()))
+          << "round " << round << " zone " << z;
+    }
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ma, mb;
+    fast.device().mapping().ForEachMapped(
+        [&](Lpn l, Ppn p) { ma.emplace_back(l.value(), p.value()); });
+    full.device().mapping().ForEachMapped(
+        [&](Lpn l, Ppn p) { mb.emplace_back(l.value(), p.value()); });
+    EXPECT_EQ(ma, mb) << "round " << round;
+  }
+  // The comparison is only meaningful if the fast path really took the
+  // image route at least once.
+  EXPECT_GT(fast.device().recovery_stats().checkpoint_loaded, 0u);
+  EXPECT_EQ(full.device().recovery_stats().checkpoint_loaded, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Interaction with live member rebuild (PR 7 ReplaceMember)
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointCrashTest, MidRebuildCheckpointDoesNotResurrectStaleMappings) {
+  // Every rebuild tick ends in a member Flush, so min_flush_entries=1
+  // makes the fresh member checkpoint continuously while rows stream in.
+  // A cut + image-served remount mid-rebuild must leave only the durable
+  // row prefix — never rows the image predates or postdates.
+  ConZoneConfig cfg = CkptCrashConfig(/*interval=*/256, /*min_flush=*/1);
+
+  std::vector<std::unique_ptr<StorageDevice>> devs;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    auto dev = ConZoneDevice::Create(cfg.ForShard(i, 5));
+    ASSERT_TRUE(dev.ok());
+    devs.push_back(std::move(dev).value());
+  }
+  RedundantVolumeOptions opt;
+  opt.stripe_bytes = 16 * kKiB;
+  opt.rows_per_tick = 4;
+  auto volr = RedundantVolume::Create(std::move(devs), opt);
+  ASSERT_TRUE(volr.ok());
+  RedundantVolume& v = **volr;
+  const std::uint64_t zb = v.info().zone_size_bytes;
+
+  SimTime t;
+  auto w = v.Write(IoRequest{0, zb, t, Tokens(0, zb / 4096)});
+  ASSERT_TRUE(w.ok());
+  auto w2 = v.Write(IoRequest{zb, zb / 2, w.value().done,
+                              Tokens(4000, zb / 2 / 4096)});
+  ASSERT_TRUE(w2.ok());
+  SimTime now = w2.value().done;
+
+  auto freshr = ConZoneDevice::Create(cfg.ForShard(9, 5));
+  ASSERT_TRUE(freshr.ok());
+  ConZoneDevice* fresh = freshr.value().get();
+  ASSERT_TRUE(v.MarkFailed(1).ok());
+  ASSERT_TRUE(v.ReplaceMember(1, std::move(freshr).value(), now).ok());
+
+  for (int i = 0; i < 3 && v.rebuild_active(); ++i) {
+    auto tick = v.Tick(now);
+    ASSERT_TRUE(tick.ok()) << tick.status().ToString();
+    now = tick.value();
+  }
+  ASSERT_TRUE(v.rebuild_active());
+  // The per-tick flushes really did write images before the cut.
+  ASSERT_GT(fresh->recovery_stats().checkpoints_written, 0u);
+  ASSERT_TRUE(fresh->PowerCut(now).ok());
+
+  auto dead = v.Tick(now);
+  ASSERT_FALSE(dead.ok());
+
+  auto rec = fresh->Recover(now);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  now = rec.value();
+  int ticks = 0;
+  for (; ticks < 100000 && v.rebuild_active(); ++ticks) {
+    auto tick = v.Tick(now);
+    ASSERT_TRUE(tick.ok()) << tick.status().ToString();
+    now = tick.value();
+  }
+  ASSERT_FALSE(v.rebuild_active()) << "rebuild did not finish in " << ticks;
+  EXPECT_EQ(v.Redundancy().rebuilds_completed, 1u);
+
+  const std::uint32_t zones = v.member(0).info().num_zones;
+  for (std::uint32_t z = 0; z < zones; ++z) {
+    EXPECT_EQ(MemberZonePrefix(v.member(1), z, now),
+              MemberZonePrefix(v.member(0), z, now))
+        << "zone " << z;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Opt-in soak (CI crash-matrix label / CONZONE_CRASH_SOAK=1)
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointCrashSoakTest, ManyRandomCutsWithRandomIntervalsSoak) {
+  if (std::getenv("CONZONE_CRASH_SOAK") == nullptr) {
+    GTEST_SKIP() << "set CONZONE_CRASH_SOAK=1 to run the 10k-cut soak";
+  }
+  Rng pick(0xC4B7ull);
+  constexpr int kInstances = 5;
+  constexpr int kCutsPerInstance = 2000;
+  for (int inst = 0; inst < kInstances; ++inst) {
+    // Random interval per instance: 16..4096 entries, random flush floor.
+    const std::uint64_t interval = 16ull << pick.NextBelow(9);
+    const std::uint64_t min_flush = 1 + pick.NextBelow(interval);
+    CrashHarness::Options opt;
+    opt.seed = 0x50A7ull + static_cast<std::uint64_t>(inst);
+    CrashHarness h(CkptCrashConfig(interval, min_flush), opt);
+    ASSERT_TRUE(h.Init().ok());
+    for (int round = 0; round < kCutsPerInstance; ++round) {
+      ASSERT_TRUE(h.RunOps(3 + pick.NextBelow(15)).ok())
+          << "inst=" << inst << " round=" << round;
+      ASSERT_TRUE(h.Cut(pick.NextDouble() * 1.5).ok())
+          << "inst=" << inst << " round=" << round;
+      Status st = h.RecoverAndVerify();
+      ASSERT_TRUE(st.ok()) << "inst " << inst << " (interval " << interval
+                           << ") round " << round << ": " << st.message();
+    }
+    EXPECT_EQ(h.device().recovery_stats().recoveries,
+              static_cast<std::uint64_t>(kCutsPerInstance));
+  }
+}
+
+}  // namespace
+}  // namespace conzone
