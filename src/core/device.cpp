@@ -331,6 +331,7 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::StageSlots(
   std::vector<SlotWrite> writes(extent.slots.begin() +
                                     static_cast<std::ptrdiff_t>(first),
                                 extent.slots.end());
+  const std::uint64_t mark = array_.MarkJournal();
   auto ppns = slc_alloc_.Program(writes);
   if (!ppns.ok()) return ppns.status();
   if (!slc_alloc_.last_failed().empty()) {
@@ -344,22 +345,19 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::StageSlots(
     cache_.Erase(L2pKey{MapGranularity::kPage, writes[k].lpn.value()});
   }
   l2p_log_.Append(writes.size());
-  array_.StampJournal(now, prog.end);
+  array_.StampJournal(mark, now, prog.end);
   zr.staged_end = ext_end;
   return done;
 }
 
 Result<ConZoneDevice::FlushResult> ConZoneDevice::RedriveUnitToSlc(
-    ZoneRuntime& zr, std::span<const SlotWrite> data, SimTime now) {
+    ZoneRuntime& zr, std::uint64_t mark, std::span<const SlotWrite> data,
+    SimTime now) {
   const FlashGeometry& geo = cfg_.geometry;
-  // Re-driven units consume SLC capacity the watermark did not anticipate
-  // (the end-of-flush GC check has not run yet), so reclaim here before
-  // the allocator runs dry mid-extent.
-  if (gc_.NeedsGc()) {
-    auto gc_done = gc_.Run(now);
-    if (!gc_done.ok()) return gc_done.status();
-    now = Later(now, gc_done.value());
-  }
+  // No GC here: the fold already invalidated the unit's staged source
+  // copies, so reclaiming now could durably erase the only surviving
+  // copies before the re-drive program completes. The caller reclaims
+  // headroom before the unit's read-back instead.
   std::vector<SlotWrite> writes(data.begin(), data.end());
   auto ppns = slc_alloc_.Program(writes);
   if (!ppns.ok()) return ppns.status();
@@ -373,10 +371,10 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::RedriveUnitToSlc(
     cache_.Erase(L2pKey{MapGranularity::kPage, writes[k].lpn.value()});
   }
   l2p_log_.Append(writes.size());
-  // Covers the re-driven SLC program plus any still-unstamped invalidates
-  // from the fold read-back that fed it (a burned one-shot pulse leaves
-  // no journal entry of its own).
-  array_.StampJournal(now, prog.end);
+  // Covers the re-driven SLC program plus the invalidates from the fold
+  // read-back that fed it — the caller's mark reaches back to them (a
+  // burned one-shot pulse leaves no journal entry of its own).
+  array_.StampJournal(mark, now, prog.end);
   // Part of the zone's nominally-normal range now lives in SLC: freeze
   // aggregation from here on (already-stamped chunks predate the failure
   // and are fully layout-resident, so they stay correct).
@@ -398,6 +396,7 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::ProgramPatchRun(
   // flushed buffer extent.
   std::vector<SlotWrite> data;
   data.reserve((end - begin) / geo.slot_size);
+  const std::uint64_t mark = array_.MarkJournal();
   SimTime reads_done = now;
   if (zr.staged_end > begin) {
     auto rd = ReadBackStaged(zone, begin, zr.staged_end, data, now);
@@ -432,7 +431,7 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::ProgramPatchRun(
     }
   }
   l2p_log_.Append(data.size());
-  array_.StampJournal(now, prog.end);
+  array_.StampJournal(mark, now, prog.end);
   zr.patch_start = ppns.value()[0];
   zr.patch_contiguous = contiguous;
   zr.durable_normal_end = begin;
@@ -466,6 +465,18 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushExtent(BufferedExtent ext
   std::vector<SlotWrite> data;
   data.reserve(unit / geo.slot_size);
   while (cur < layout_.normal_bytes() && cur + unit <= ext_end) {
+    // Reclaim SLC headroom for a possible re-drive BEFORE the fold
+    // invalidates its staged source copies: GC running after that point
+    // could durably erase the only surviving copies of data whose
+    // superseding program a cut may still tear.
+    if (gc_.NeedsGc()) {
+      auto gc_done = gc_.Run(now);
+      if (!gc_done.ok()) return gc_done.status();
+      now = Later(now, gc_done.value());
+      done.sram_free = Later(done.sram_free, now);
+      done.media_done = Later(done.media_done, now);
+    }
+    const std::uint64_t mark = array_.MarkJournal();
     data.clear();
     SimTime reads_done = now;
     std::uint64_t staged_bytes = 0;
@@ -513,7 +524,7 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushExtent(BufferedExtent ext
         l2p_log_.Append(data.size());
         // One window for the fold's read-back invalidates and its
         // program: both become durable when the one-shot pulse ends.
-        array_.StampJournal(now, prog.end);
+        array_.StampJournal(mark, now, prog.end);
       } else if (st.code() == StatusCode::kMediaError) {
         // The die still ran (and burned) the one-shot pulse; the layout is
         // fixed, so the unit cannot relocate within the zone's reserved
@@ -531,7 +542,7 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushExtent(BufferedExtent ext
       }
     }
     if (redrive) {
-      auto rd = RedriveUnitToSlc(zr, data, reads_done);
+      auto rd = RedriveUnitToSlc(zr, mark, data, reads_done);
       if (!rd.ok()) return rd.status();
       done.sram_free = Later(done.sram_free, rd.value().sram_free);
       done.media_done = Later(done.media_done, rd.value().media_done);
@@ -953,6 +964,7 @@ Result<SimTime> ConZoneDevice::ResetZone(ZoneId zone, SimTime now) {
   // Invalidate SLC-resident slots (staged data and the patch, E.2: "if
   // the zone has some data in SLC, ConZone invalidates it also") and drop
   // all mappings.
+  const std::uint64_t mark = array_.MarkJournal();
   const Lpn zbase = ZoneBaseLpn(zone);
   for (std::uint64_t i = 0; i < LpnsPerZone(); ++i) {
     const Lpn lpn = Lpn(zbase.value() + i);
@@ -992,7 +1004,7 @@ Result<SimTime> ConZoneDevice::ResetZone(ZoneId zone, SimTime now) {
   runtime_[static_cast<std::size_t>(zone.value())] = ZoneRuntime{};
   // One window for the reset's SLC invalidates and block erases: the
   // erases were issued at t0 and the reset is durable once they finish.
-  array_.StampJournal(t0, done);
+  array_.StampJournal(mark, t0, done);
   media_horizon_ = Later(media_horizon_, done);
   return done;
 }
@@ -1143,6 +1155,7 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushConventionalExtent(
   std::size_t i = 0;
   // Whole one-shot units into the conventional pool's log.
   while (extent.slot_count() - i >= unit_slots) {
+    const std::uint64_t mark = array_.MarkJournal();
     auto unit = conv_alloc_.ProgramUnit(
         std::span<const SlotWrite>(extent.slots).subspan(i, unit_slots));
     if (!unit.ok()) return unit.status();
@@ -1161,13 +1174,14 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushConventionalExtent(
     }
     // The unit's program and the overwrites it superseded share one
     // durability window.
-    array_.StampJournal(now, prog.end);
+    array_.StampJournal(mark, now, prog.end);
     i += unit_slots;
   }
   // Sub-unit remainder: through the shared SLC secondary buffer. Under
   // page mapping it simply lives there until GC migrates it.
   if (i < extent.slot_count()) {
     ++stats_.premature_flushes;
+    const std::uint64_t mark = array_.MarkJournal();
     std::vector<SlotWrite> rest(extent.slots.begin() + static_cast<std::ptrdiff_t>(i),
                                 extent.slots.end());
     auto ppns = slc_alloc_.Program(rest);
@@ -1184,7 +1198,7 @@ Result<ConZoneDevice::FlushResult> ConZoneDevice::FlushConventionalExtent(
         return st;
       }
     }
-    array_.StampJournal(now, prog.end);
+    array_.StampJournal(mark, now, prog.end);
   }
 
   if (pool_.FreeNormalCount() < cfg_.gc.low_watermark) {
@@ -1248,6 +1262,7 @@ Result<SimTime> ConZoneDevice::CollectConventional(SimTime now) {
     last_free = pool_.FreeNormalCount();
 
     // Read live slots (grouped per page), re-log them, erase, release.
+    const std::uint64_t migrate_mark = array_.MarkJournal();
     const SimTime migrate_start = t;
     std::vector<SlotWrite> live;
     std::vector<Ppn> old_ppns;
@@ -1322,7 +1337,8 @@ Result<SimTime> ConZoneDevice::CollectConventional(SimTime now) {
     // the last program pulse ends; the erases are stamped separately
     // below with their true issue time, or a mid-GC cut would mislabel
     // never-issued erases as torn and destroy restorable source data.
-    array_.StampJournal(migrate_start, t);
+    array_.StampJournal(migrate_mark, migrate_start, t);
+    const std::uint64_t erase_mark = array_.MarkJournal();
     SimTime erases = t;
     std::uint32_t healthy_erased = 0;
     for (std::uint32_t c = 0; c < geo.NumChips(); ++c) {
@@ -1342,7 +1358,7 @@ Result<SimTime> ConZoneDevice::CollectConventional(SimTime now) {
       array_.mutable_reliability().recovery_time +=
           engine_.timing().For(geo.normal_cell).erase_latency;
     }
-    array_.StampJournal(t, erases);
+    array_.StampJournal(erase_mark, t, erases);
     t = erases;
     if (healthy_erased > 0) {
       if (Status st = pool_.ReleaseNormal(victim); !st.ok()) return st;
@@ -1370,6 +1386,7 @@ Result<SimTime> ConZoneDevice::EvictConventionalFromSlc(std::vector<SlotWrite> s
             static_cast<std::ptrdiff_t>(std::min(i + unit_slots, slots.size())));
     const std::size_t data_count = unit.size();
     unit.resize(unit_slots, SlotWrite{Lpn::Invalid(), 0});
+    const std::uint64_t mark = array_.MarkJournal();
     const SimTime issue = t;
     auto res = conv_alloc_.ProgramUnit(unit);
     if (!res.ok()) return res.status();
@@ -1389,7 +1406,7 @@ Result<SimTime> ConZoneDevice::EvictConventionalFromSlc(std::vector<SlotWrite> s
         if (Status st = array_.InvalidateSlot(ppn); !st.ok()) return st;
       }
     }
-    array_.StampJournal(issue, t);
+    array_.StampJournal(mark, issue, t);
     i += data_count;
   }
   return t;
@@ -1398,6 +1415,7 @@ Result<SimTime> ConZoneDevice::EvictConventionalFromSlc(std::vector<SlotWrite> s
 Result<SimTime> ConZoneDevice::ResetConventionalZone(ZoneId zone, SimTime now) {
   ++stats_.zone_resets;
   buffers_.Discard(zone);
+  const std::uint64_t mark = array_.MarkJournal();
   const Lpn zbase = ZoneBaseLpn(zone);
   for (std::uint64_t i = 0; i < LpnsPerZone(); ++i) {
     const Lpn lpn = Lpn(zbase.value() + i);
@@ -1412,7 +1430,7 @@ Result<SimTime> ConZoneDevice::ResetConventionalZone(ZoneId zone, SimTime now) {
   // No erase here: the pool's blocks are shared; GC reclaims them. The
   // invalidates are controller metadata; they become cut-proof once the
   // reset is acknowledged.
-  array_.StampJournal(now, now + cfg_.request_overhead);
+  array_.StampJournal(mark, now, now + cfg_.request_overhead);
   return now + cfg_.request_overhead;
 }
 

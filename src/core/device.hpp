@@ -89,6 +89,7 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
   Result<SimTime> Flush(SimTime now) override;
   StatsSnapshot Stats() const override;
   ReliabilityStats Reliability() const override { return array_.reliability(); }
+  RecoveryStats Recovery() const override { return recovery_; }
 
   Result<SimTime> FinishZone(ZoneId zone, SimTime now);
   Status OpenZone(ZoneId zone) { return zones_.ExplicitOpen(zone); }
@@ -116,6 +117,11 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
   /// True between PowerCut() and a successful Recover().
   bool powered_off() const { return powered_off_; }
   const RecoveryStats& recovery_stats() const { return recovery_; }
+
+  /// Latest host submission time — the earliest instant PowerCut()
+  /// accepts (it refuses to retroactively lose an op already issued).
+  /// Cut schedulers clamp forward with Later(cut, last_submit()).
+  SimTime last_submit() const { return last_submit_; }
 
   /// Force a checkpoint image right now (tests and studies; the policy
   /// hooks in MaybeFlushL2pLog / Flush cover normal operation). Flushes
@@ -214,8 +220,10 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
 
   /// Recovery: a reserved normal block refused (or failed) a one-shot
   /// unit — program the unit's slots into SLC under page mapping and mark
-  /// the zone degraded (no further aggregation).
-  Result<FlushResult> RedriveUnitToSlc(ZoneRuntime& zr,
+  /// the zone degraded (no further aggregation). `mark` is the caller's
+  /// journal mark from before the fold's read-back, so the stamp also
+  /// covers the source invalidates the re-drive supersedes.
+  Result<FlushResult> RedriveUnitToSlc(ZoneRuntime& zr, std::uint64_t mark,
                                        std::span<const SlotWrite> data, SimTime now);
 
   /// Lazily latch read-only mode when the healthy SLC spare drops below

@@ -167,6 +167,12 @@ class StorageDevice {
   /// reliability model.
   virtual ReliabilityStats Reliability() const { return {}; }
 
+  /// Power-loss/remount accounting (cuts survived, remount latency,
+  /// checkpoint counters); zero-filled on devices without power-loss
+  /// emulation. Hosts and harnesses aggregate this uniformly — no
+  /// downcast to a concrete device type.
+  virtual RecoveryStats Recovery() const { return {}; }
+
   // --- Thin compatibility overloads (one PR of grace; callers should
   // migrate to the IoRequest/IoResult forms above) ---
 

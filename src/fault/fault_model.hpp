@@ -28,6 +28,15 @@
 
 namespace conzone {
 
+/// How a scheduled power-cut stream spaces its cuts. Consumers (the
+/// sharded runner and the fleet soak) derive the stream deterministically
+/// from the config seed via MixSeeds, so the same plan replays the same
+/// cut times regardless of thread count.
+enum class CutScheduleKind : std::uint8_t {
+  kFixedInterval,   ///< Cuts exactly every interval_ns of simulated time.
+  kRandomInterval,  ///< Exponential gaps with mean interval_ns (FaultModel).
+};
+
 /// Fault probabilities for one cell class. All are per-operation
 /// probabilities in [0, 1].
 struct FaultRates {
@@ -134,6 +143,14 @@ class FaultModel {
   /// (decorrelated from the fault draws) so enabling cuts does not shift
   /// the fault sequence of an otherwise identical run.
   SimTime NextCutAfter(SimTime t);
+
+  /// The wear-coupling factor applied to every rate at this erase count:
+  /// 1.0 up to rated_endurance, then 1 + wear_slope * excess. Pure —
+  /// draws no randomness — so tests and studies can assert the ramp
+  /// without perturbing the fault stream.
+  double wear_multiplier(std::uint32_t erase_count) const {
+    return WearMultiplier(erase_count);
+  }
 
  private:
   double WearMultiplier(std::uint32_t erase_count) const;

@@ -96,6 +96,7 @@ Status FlashArray::ProgramSlots(BlockId block, std::span<const SlotWrite> writes
   if (JournalActive()) {
     JournalEntry e;
     e.kind = JournalEntry::Kind::kProgram;
+    e.seq = journal_seq_++;
     e.block = block;
     e.first_slot = meta.next_slot;
     e.count = static_cast<std::uint32_t>(writes.size());
@@ -151,6 +152,7 @@ Status FlashArray::InvalidateSlot(Ppn ppn) {
   if (JournalActive()) {
     JournalEntry e;
     e.kind = JournalEntry::Kind::kInvalidate;
+    e.seq = journal_seq_++;
     e.ppn = ppn;
     journal_.push_back(std::move(e));
   }
@@ -197,6 +199,7 @@ Status FlashArray::EraseBlock(BlockId block) {
   if (JournalActive()) {
     JournalEntry e;
     e.kind = JournalEntry::Kind::kErase;
+    e.seq = journal_seq_++;
     e.block = block;
     e.prior_meta = meta;
     e.image.assign(slots_.begin() + static_cast<std::ptrdiff_t>(base),
@@ -291,10 +294,14 @@ SlotRead FlashArray::PeekSlot(Ppn ppn) const {
   return out;
 }
 
-void FlashArray::StampJournal(SimTime start, SimTime end) {
-  // Unstamped entries always form a suffix: every batch stamps its own
-  // entries before the next batch appends any.
-  for (auto it = journal_.rbegin(); it != journal_.rend() && !it->stamped; ++it) {
+void FlashArray::StampJournal(std::uint64_t mark, SimTime start, SimTime end) {
+  // Only the calling batch's entries (seq >= its mark) are stamped. A
+  // plain unstamped-suffix walk would let a nested batch — GC invoked
+  // mid-flush — capture its caller's pending entries under the nested
+  // window; if that window closed before a cut while the caller's
+  // superseding program was torn, acknowledged data would be lost.
+  for (auto it = journal_.rbegin(); it != journal_.rend() && it->seq >= mark; ++it) {
+    if (it->stamped) continue;  // a nested batch stamped its own entries
     it->stamped = true;
     it->start = start;
     it->end = end;

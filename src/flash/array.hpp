@@ -190,11 +190,18 @@ class FlashArray {
   /// writes become the new durable baseline, not undoable state).
   void PauseJournal(bool paused) { journal_paused_ = paused; }
 
-  /// Stamp every not-yet-stamped journal entry with the media window
-  /// [start, end). Call immediately after computing a batch's timing;
-  /// nested batches may stamp their own entries first (stamping is
-  /// first-stamp-wins).
-  void StampJournal(SimTime start, SimTime end);
+  /// Opaque position in the journal's append order. Take one with
+  /// MarkJournal() before a batch's first append; StampJournal then
+  /// stamps only that batch's entries, so a nested batch (GC running
+  /// mid-flush, say) can never capture its caller's still-unstamped
+  /// entries under its own — typically earlier-closing — window.
+  std::uint64_t MarkJournal() const { return journal_seq_; }
+
+  /// Stamp every not-yet-stamped journal entry appended at or after
+  /// `mark` with the media window [start, end). Call immediately after
+  /// computing a batch's timing; entries a nested batch already stamped
+  /// keep their window (stamping is first-stamp-wins per entry).
+  void StampJournal(std::uint64_t mark, SimTime start, SimTime end);
 
   /// Drop stamped entries from the journal front whose window ended at
   /// or before `horizon`. Host ops call this with their submission time:
@@ -270,6 +277,7 @@ class FlashArray {
   struct JournalEntry {
     enum class Kind : std::uint8_t { kProgram, kInvalidate, kErase };
     Kind kind = Kind::kProgram;
+    std::uint64_t seq = 0;  // append order, compared against batch marks
     bool stamped = false;
     SimTime start;  // media window [start, end); valid once stamped
     SimTime end;
@@ -296,6 +304,7 @@ class FlashArray {
   mutable ReliabilityStats rel_;
   FaultModel* fault_ = nullptr;
   std::uint64_t program_seq_ = 0;
+  std::uint64_t journal_seq_ = 0;  // next JournalEntry::seq; never reset
   bool journal_on_ = false;
   bool journal_paused_ = false;
   std::deque<JournalEntry> journal_;

@@ -59,6 +59,7 @@ SuperblockId SlcGarbageCollector::SelectVictim() const {
 
 Result<SimTime> SlcGarbageCollector::CollectOne(SuperblockId victim, SimTime now) {
   const FlashGeometry& geo = array_.geometry();
+  const std::uint64_t migrate_mark = array_.MarkJournal();
   ++stats_.victims;
 
   // Gather valid slots, grouped per flash page so each page costs one
@@ -157,7 +158,10 @@ Result<SimTime> SlcGarbageCollector::CollectOne(SuperblockId victim, SimTime now
   // programs and invalidates above complete by progs_done, but the
   // erases start only then — sharing one window would let a mid-GC cut
   // mislabel never-issued erases as torn and discard restorable data.
-  array_.StampJournal(now, progs_done);
+  // Mark-scoped so a caller's pending batch (a fold mid-flush) is never
+  // captured under the migration window.
+  array_.StampJournal(migrate_mark, now, progs_done);
+  const std::uint64_t erase_mark = array_.MarkJournal();
 
   // Erase the victim's blocks (all chips in parallel) and free it.
   // Retired blocks are scrubbed, not erased; an erase failure retires the
@@ -184,7 +188,7 @@ Result<SimTime> SlcGarbageCollector::CollectOne(SuperblockId victim, SimTime now
     array_.mutable_reliability().recovery_time +=
         engine_.timing().For(CellType::kSlc).erase_latency;
   }
-  array_.StampJournal(progs_done, erases_done);
+  array_.StampJournal(erase_mark, progs_done, erases_done);
   if (healthy_erased > 0) {
     ++stats_.superblocks_erased;
     if (Status st = pool_.ReleaseSlc(victim); !st.ok()) return st;

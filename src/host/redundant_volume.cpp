@@ -790,6 +790,12 @@ ReliabilityStats RedundantVolume::Reliability() const {
   return s;
 }
 
+RecoveryStats RedundantVolume::Recovery() const {
+  RecoveryStats s;
+  for (const auto& m : members_) s.Merge(m->Recovery());
+  return s;
+}
+
 std::vector<StatsSnapshot> RedundantVolume::PerMemberStats() const {
   std::vector<StatsSnapshot> out;
   out.reserve(members_.size());
@@ -801,6 +807,13 @@ std::vector<ReliabilityStats> RedundantVolume::PerMemberReliability() const {
   std::vector<ReliabilityStats> out;
   out.reserve(members_.size());
   for (const auto& m : members_) out.push_back(m->Reliability());
+  return out;
+}
+
+std::vector<RecoveryStats> RedundantVolume::PerMemberRecovery() const {
+  std::vector<RecoveryStats> out;
+  out.reserve(members_.size());
+  for (const auto& m : members_) out.push_back(m->Recovery());
   return out;
 }
 

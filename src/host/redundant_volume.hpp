@@ -140,6 +140,7 @@ class RedundantVolume final : public StorageDevice {
   Result<SimTime> Flush(SimTime now) override;
   StatsSnapshot Stats() const override;
   ReliabilityStats Reliability() const override;
+  RecoveryStats Recovery() const override;
 
   /// Volume-level redundancy accounting (degraded service, scrub,
   /// rebuild). Member-level fault accounting stays in Reliability().
@@ -150,6 +151,7 @@ class RedundantVolume final : public StorageDevice {
   /// as StripedVolume).
   std::vector<StatsSnapshot> PerMemberStats() const;
   std::vector<ReliabilityStats> PerMemberReliability() const;
+  std::vector<RecoveryStats> PerMemberRecovery() const;
 
   /// Attach a fork-join executor for per-member fan-out (writes, parity
   /// read legs). Null (default) or 1 thread = serial reference path.

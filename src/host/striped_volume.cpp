@@ -404,6 +404,12 @@ ReliabilityStats StripedVolume::Reliability() const {
   return s;
 }
 
+RecoveryStats StripedVolume::Recovery() const {
+  RecoveryStats s;
+  for (const auto& m : members_) s.Merge(m->Recovery());
+  return s;
+}
+
 std::vector<StatsSnapshot> StripedVolume::PerMemberStats() const {
   std::vector<StatsSnapshot> out;
   out.reserve(members_.size());
@@ -415,6 +421,13 @@ std::vector<ReliabilityStats> StripedVolume::PerMemberReliability() const {
   std::vector<ReliabilityStats> out;
   out.reserve(members_.size());
   for (const auto& m : members_) out.push_back(m->Reliability());
+  return out;
+}
+
+std::vector<RecoveryStats> StripedVolume::PerMemberRecovery() const {
+  std::vector<RecoveryStats> out;
+  out.reserve(members_.size());
+  for (const auto& m : members_) out.push_back(m->Recovery());
   return out;
 }
 

@@ -101,12 +101,14 @@ class StripedVolume final : public StorageDevice {
   Result<SimTime> Flush(SimTime now) override;
   StatsSnapshot Stats() const override;
   ReliabilityStats Reliability() const override;
+  RecoveryStats Recovery() const override;
 
   /// Per-member breakdowns, member order. The merged Stats()/Reliability()
   /// flatten which member degraded; degraded-mode tests and the examples/
   /// studies use these to attribute failures to a member.
   std::vector<StatsSnapshot> PerMemberStats() const;
   std::vector<ReliabilityStats> PerMemberReliability() const;
+  std::vector<RecoveryStats> PerMemberRecovery() const;
 
   /// Attach a fork-join executor: multi-run requests fork one task per
   /// member sub-request on it and merge after the join, in run order.

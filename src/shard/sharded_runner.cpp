@@ -44,7 +44,95 @@ Result<std::unique_ptr<StorageDevice>> MakeShardDevice(const ShardPlan& plan,
   return std::unique_ptr<StorageDevice>(std::move(vol).value());
 }
 
+/// The cut-schedule path: a bare ConZone shard whose FIO workload is
+/// interleaved with full PowerCut/Recover cycles at deterministic,
+/// seed-derived times. The session pauses at each scheduled cut, the
+/// device loses power and remounts, the surviving jobs resync their
+/// cursors against the recovered write pointers, and the run continues
+/// to its normal stop conditions after the last scheduled cut.
+ShardOutcome RunOneShardWithCuts(const ShardPlan& plan, std::uint32_t shard_id) {
+  ShardOutcome out;
+  out.result.shard_id = shard_id;
+  auto fail = [&out](Status st) {
+    out.status = std::move(st);
+    return out;
+  };
+
+  if (plan.members > 1) {
+    return fail(Status::InvalidArgument(
+        "sharded runner: cut_schedule requires members == 1"));
+  }
+  ConZoneConfig cfg = plan.config.ForShard(shard_id, plan.master_seed);
+  cfg.fault.power_loss = true;  // cuts need the undo journal armed
+  auto devr = ConZoneDevice::Create(cfg);
+  if (!devr.ok()) return fail(devr.status());
+  ConZoneDevice& dev = **devr;
+
+  SimTime start = SimTime::Zero();
+  if (plan.precondition_bytes > 0) {
+    Status st = FioRunner::Precondition(dev, 0, plan.precondition_bytes,
+                                        512 * kKiB, &start);
+    if (!st.ok()) return fail(std::move(st));
+  }
+
+  FioRunner fio(dev, plan.backend);
+  FioRunner::Session session(fio, ShardedRunner::JobsForShard(plan, shard_id),
+                             start);
+  if (Status st = session.Begin(); !st.ok()) return fail(std::move(st));
+
+  // The cut stream is a pure function of the shard's derived fault seed:
+  // fixed intervals need no randomness; random intervals ride
+  // FaultModel's decorrelated cut stream (same derivation a device-side
+  // schedule would use, so shard 0 matches a single-device run of the
+  // template config).
+  const std::uint64_t interval = plan.cut_schedule.interval_ns;
+  FaultModel schedule;
+  if (plan.cut_schedule.kind == CutScheduleKind::kRandomInterval) {
+    FaultConfig sc;
+    sc.seed = cfg.fault.seed;
+    sc.power_cut_mean_interval_ns = interval;
+    schedule = FaultModel(sc);
+  }
+  auto next_cut_after = [&](SimTime t) {
+    return plan.cut_schedule.kind == CutScheduleKind::kRandomInterval
+               ? schedule.NextCutAfter(t)
+               : t + SimDuration::Nanos(interval);
+  };
+  auto wp_of = [&dev](std::uint64_t z) -> Result<std::uint64_t> {
+    return dev.zones().Info(ZoneId{z}).write_pointer;
+  };
+
+  SimTime next_cut = next_cut_after(start);
+  for (std::uint32_t cut = 0; cut < plan.cut_schedule.cuts; ++cut) {
+    if (Status st = session.RunUntil(next_cut); !st.ok()) {
+      return fail(std::move(st));
+    }
+    if (session.done()) break;  // workload finished before the schedule
+    // Issue chains can submit past the pause point (zone resets on wrap
+    // advance the submission clock); PowerCut refuses to rewind, so
+    // clamp forward.
+    const SimTime at = Later(next_cut, dev.last_submit());
+    if (Status st = dev.PowerCut(at); !st.ok()) return fail(std::move(st));
+    auto rec = dev.Recover(at);
+    if (!rec.ok()) return fail(rec.status());
+    auto resumed = session.Resume(rec.value(), wp_of);
+    if (!resumed.ok()) return fail(resumed.status());
+    next_cut = next_cut_after(resumed.value());
+  }
+
+  if (Status st = session.RunAll(); !st.ok()) return fail(std::move(st));
+  auto run = session.Finish();
+  if (!run.ok()) return fail(run.status());
+  out.result.run = std::move(run).value();
+  out.result.reliability = dev.Reliability();
+  out.result.recovery = dev.Recovery();
+  out.result.device = dev.Stats();
+  return out;
+}
+
 ShardOutcome RunOneShard(const ShardPlan& plan, std::uint32_t shard_id) {
+  if (plan.cut_schedule.cuts > 0) return RunOneShardWithCuts(plan, shard_id);
+
   ShardOutcome out;
   out.result.shard_id = shard_id;
 
@@ -73,6 +161,7 @@ ShardOutcome RunOneShard(const ShardPlan& plan, std::uint32_t shard_id) {
   }
   out.result.run = std::move(run).value();
   out.result.reliability = dev.Reliability();
+  out.result.recovery = dev.Recovery();
   out.result.device = dev.Stats();
   return out;
 }
@@ -139,6 +228,7 @@ Result<ShardedResult> ShardedRunner::Run() {
     longest = std::max(longest, s.run.total.elapsed);
     merged.latency.Merge(s.run.latency);
     merged.reliability.Merge(s.reliability);
+    merged.recovery.Merge(s.recovery);
     merged.events += s.run.events;
     merged.io_errors += s.run.io_errors;
     merged.end_time = std::max(merged.end_time, s.run.end_time);

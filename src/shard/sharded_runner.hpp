@@ -32,6 +32,7 @@
 #include "common/status.hpp"
 #include "core/config.hpp"
 #include "core/storage_device.hpp"
+#include "fault/fault_model.hpp"
 #include "host/striped_volume.hpp"
 #include "sim/event_queue.hpp"
 #include "workload/fio.hpp"
@@ -39,6 +40,22 @@
 namespace conzone {
 
 class Executor;
+
+/// Scheduled mid-run power cuts for each shard. With cuts > 0 every
+/// shard interleaves its FIO workload with `cuts` full
+/// PowerCut/Recover cycles: run to the next scheduled cut time, cut,
+/// remount, resync the surviving jobs' cursors against the recovered
+/// write pointers (FioRunner::Session::Resume), continue. Cut times
+/// are a pure function of the shard's derived fault seed, so the
+/// determinism contract is untouched. Requires members == 1 (cuts act
+/// on a bare ConZone device; volumes have their own rebuild story).
+struct ShardCutSchedule {
+  std::uint32_t cuts = 0;  ///< 0 = no cuts (the historical path).
+  CutScheduleKind kind = CutScheduleKind::kRandomInterval;
+  /// Fixed: exact workload-time gap between resume and the next cut.
+  /// Random: mean of the exponential gap (FaultModel::NextCutAfter).
+  std::uint64_t interval_ns = 10'000'000;
+};
 
 /// Everything needed to reproduce a sharded run.
 struct ShardPlan {
@@ -69,6 +86,8 @@ struct ShardPlan {
   /// Sequentially fill [0, precondition_bytes) on each shard before the
   /// measured jobs (read workloads need written media).
   std::uint64_t precondition_bytes = 0;
+  /// Mid-run power-cut schedule (cuts == 0 disables it).
+  ShardCutSchedule cut_schedule;
   EventQueue::Backend backend = EventQueue::Backend::kTimingWheel;
 };
 
@@ -81,6 +100,9 @@ struct ShardResult {
   std::uint32_t shard_id = 0;
   RunResult run;
   ReliabilityStats reliability;
+  /// Remount/checkpoint accounting (uniform StorageDevice::Recovery();
+  /// all-zero without a cut schedule or power-loss emulation).
+  RecoveryStats recovery;
   StatsSnapshot device;
 };
 
@@ -93,6 +115,7 @@ struct ShardedResult {
   Throughput total;
   LatencyHistogram latency;       ///< Merged across all shards' jobs.
   ReliabilityStats reliability;   ///< Merged (counters, histograms).
+  RecoveryStats recovery;         ///< Merged remount/checkpoint counters.
   std::uint64_t events = 0;       ///< Simulator events executed, summed.
   std::uint64_t io_errors = 0;
   SimTime end_time;               ///< Max over shards.

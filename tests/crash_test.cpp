@@ -14,6 +14,7 @@
 #include "common/rng.hpp"
 #include "core/crash_checker.hpp"
 #include "core/device.hpp"
+#include "flash/array.hpp"
 #include "ftl/l2p_log.hpp"
 
 namespace conzone {
@@ -313,6 +314,61 @@ TEST(CrashConventionalTest, ConventionalZonesRecoverDurableOrLaterValues) {
     Status st = h.RecoverAndVerify();
     ASSERT_TRUE(st.ok()) << "round " << round << ": " << st.message();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Undo-journal stamping scope
+// ---------------------------------------------------------------------------
+
+// A nested batch (GC running mid-flush) stamps only its own journal
+// entries: the caller's pending invalidates keep the caller's window.
+// Before mark-scoped stamping, the nested stamp captured the caller's
+// unstamped suffix under its own earlier-closing window, so a cut
+// between the two windows durably discarded the invalidated source
+// copies while the superseding program was torn — acknowledged data
+// lost. Caught by the fleet soak (shard 0, cut 47 of its schedule).
+TEST(CrashJournalTest, NestedBatchStampCannotCaptureCallersPendingEntries) {
+  FlashArray a(SmallConfig().geometry);
+  a.EnableJournal(true);
+  const FlashGeometry& geo = a.geometry();
+  const BlockId src = geo.BlockAt(ChipId{0}, 0);    // SLC: holds the old copy
+  const BlockId other = geo.BlockAt(ChipId{1}, 0);  // SLC: the nested batch's target
+  const Ppn src_slot = geo.SlotAt(geo.PageAt(src, 0), 0);
+
+  // Durable baseline: the source copy is on media, window long closed.
+  const SlotWrite w[] = {{Lpn{7}, 111}};
+  const std::uint64_t base_mark = a.MarkJournal();
+  ASSERT_TRUE(a.ProgramSlots(src, w).ok());
+  a.StampJournal(base_mark, SimTime::FromNanos(0), SimTime::FromNanos(10));
+  a.PruneJournal(SimTime::FromNanos(10));
+
+  // Outer batch begins: a fold invalidates the source copy, intending to
+  // supersede it...
+  const std::uint64_t outer_mark = a.MarkJournal();
+  ASSERT_TRUE(a.InvalidateSlot(src_slot).ok());
+
+  // ...but a nested batch runs first and stamps a window closing at 100.
+  const std::uint64_t nested_mark = a.MarkJournal();
+  const SlotWrite nested[] = {{Lpn{9}, 222}};
+  ASSERT_TRUE(a.ProgramSlots(other, nested).ok());
+  a.StampJournal(nested_mark, SimTime::FromNanos(50), SimTime::FromNanos(100));
+
+  // The outer batch's superseding program closes only at 500; its stamp
+  // must reach back past the nested (already stamped) entries to cover
+  // the invalidate with the same window.
+  const SlotWrite sup[] = {{Lpn{7}, 333}};
+  ASSERT_TRUE(a.ProgramSlots(src, sup).ok());
+  a.StampJournal(outer_mark, SimTime::FromNanos(50), SimTime::FromNanos(500));
+
+  // Cut between the nested end (100) and the outer end (500): the nested
+  // program is durable, the outer program is torn, and the source copy
+  // it superseded must come back.
+  const FlashArray::PowerCutReport rep = a.ApplyPowerCut(SimTime::FromNanos(200));
+  EXPECT_EQ(rep.torn_program_slots, 1u);
+  EXPECT_EQ(rep.resurrected_slots, 1u);
+  EXPECT_EQ(a.StateOfSlot(src_slot), SlotState::kValid);
+  EXPECT_EQ(a.ReadSlot(src_slot).token, 111u);
+  EXPECT_EQ(a.StateOfSlot(geo.SlotAt(geo.PageAt(other, 0), 0)), SlotState::kValid);
 }
 
 // ---------------------------------------------------------------------------

@@ -85,6 +85,8 @@ std::string Fingerprint(const ShardResult& s) {
      << " rel={" << s.reliability.Summary() << "}"
      << " retry_hist={" << s.reliability.read_retry_hist.Summary() << "}"
      << " redrive_hist={" << s.reliability.redrive_hist.Summary() << "}"
+     << " rec={" << s.recovery.Summary() << "}"
+     << " remount_hist={" << s.recovery.remount_hist.Summary() << "}"
      << " waf=" << s.device.WriteAmplification()
      << " flash=" << s.device.flash_bytes_written
      << " resets=" << s.device.zone_resets;
@@ -98,7 +100,7 @@ std::string Fingerprint(const ShardedResult& r) {
      << " elapsed=" << r.total.elapsed.ns() << " events=" << r.events
      << " errs=" << r.io_errors << " end=" << r.end_time.ns()
      << " lat=" << r.latency.Summary() << " rel={" << r.reliability.Summary()
-     << "}";
+     << "}" << " rec={" << r.recovery.Summary() << "}";
   return os.str();
 }
 
@@ -192,6 +194,47 @@ TEST(ShardedRunnerTest, StripedMemberShardsStayDeterministic) {
       EXPECT_EQ(fp, reference) << "threads=" << threads;
     }
   }
+}
+
+// A plan with a per-shard power-cut schedule keeps the full determinism
+// contract: mid-run cuts, remounts, and workload resume do not leak
+// thread-count dependence into any merged counter. Both schedule kinds.
+TEST(ShardedRunnerTest, CutScheduleStaysDeterministicAcrossThreads) {
+  for (const auto kind :
+       {CutScheduleKind::kFixedInterval, CutScheduleKind::kRandomInterval}) {
+    std::string reference;
+    for (const std::uint32_t threads : {1u, 3u}) {
+      ShardPlan plan = MakePlan(/*faults=*/true, /*shards=*/3, threads);
+      plan.cut_schedule.cuts = 4;
+      plan.cut_schedule.kind = kind;
+      plan.cut_schedule.interval_ns = 300'000;  // well inside the run
+      auto res = ShardedRunner(plan).Run();
+      ASSERT_TRUE(res.ok()) << res.status().ToString();
+      // The schedule must actually fire, and every cut must remount.
+      EXPECT_GT(res.value().recovery.power_cuts, 0u);
+      EXPECT_EQ(res.value().recovery.recoveries,
+                res.value().recovery.power_cuts);
+      std::uint64_t per_shard_cuts = 0;
+      for (const ShardResult& s : res.value().shards) {
+        per_shard_cuts += s.recovery.power_cuts;
+      }
+      EXPECT_EQ(per_shard_cuts, res.value().recovery.power_cuts);
+      const std::string fp = Fingerprint(res.value());
+      if (reference.empty()) {
+        reference = fp;
+      } else {
+        EXPECT_EQ(fp, reference) << "threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ShardedRunnerTest, CutScheduleRejectsMultiMemberShards) {
+  ShardPlan plan = MakePlan(false, 1, 1);
+  plan.members = 2;
+  plan.cut_schedule.cuts = 1;
+  auto res = ShardedRunner(plan).Run();
+  EXPECT_FALSE(res.ok());
 }
 
 TEST(ShardedRunnerTest, ZeroShardsIsAnError) {
