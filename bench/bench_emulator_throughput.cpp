@@ -317,6 +317,52 @@ void BM_DegradedRandRead4K(::benchmark::State& state) {
 // entries during preconditioning and the mount scan shrinks to the
 // post-checkpoint tail — remount cost should then track K, not fullness
 // (the O(1) claim this series demonstrates). Reported as remounts_per_s
+// ZoneCache data path: zipfian 4 KiB-object gets (90%) and puts against
+// a cache mounted on the device, journal in two conventional zones. The
+// gate metric is cache_gets_per_s — wall-clock Get operations per second
+// through index lookup, device read, and (on the put side) admission,
+// journaling, and eviction-by-reset. hit_ratio is exported so a change
+// that speeds the bench up by caching less is visible for what it is.
+void BM_CacheRandGet4K(::benchmark::State& state) {
+  const auto theta_pct = static_cast<std::uint64_t>(state.range(0));
+  ConZoneConfig cfg = ConZoneConfig::PaperConfig();
+  cfg.geometry.blocks_per_chip = 24;
+  cfg.geometry.slc_blocks_per_chip = 4;
+  cfg.num_conventional_zones = 2;
+  auto dev = MakeConZone(cfg);
+
+  auto cache = ZoneCache::Mount(dev.get(), {}, SimTime::Zero());
+  if (!cache.ok()) {
+    std::fprintf(stderr, "cache mount failed: %s\n",
+                 cache.status().ToString().c_str());
+    std::abort();
+  }
+  CacheJobSpec spec;
+  spec.keys = 4096;
+  spec.zipf_theta = static_cast<double>(theta_pct) / 100.0;
+  spec.ops = 20000;
+  std::uint64_t gets = 0;
+  double hit_ratio = 0;
+  SimTime cur;
+  std::vector<std::uint32_t> generations;
+  for (auto _ : state) {
+    auto r = CacheWorkloadRunner::Run(
+        **cache, spec, cur, generations.empty() ? nullptr : &generations);
+    if (!r.ok()) {
+      std::fprintf(stderr, "cache run failed: %s\n", r.status().ToString().c_str());
+      std::abort();
+    }
+    cur = r.value().end;
+    generations = std::move(r.value().generations);
+    gets += r.value().gets;
+  }
+  hit_ratio = (*cache)->stats().HitRatio();
+  state.counters["cache_gets_per_s"] = ::benchmark::Counter(
+      static_cast<double>(gets), ::benchmark::Counter::kIsRate);
+  state.counters["hit_ratio"] = hit_ratio;
+  state.counters["zipf_theta_pct"] = static_cast<double>(theta_pct);
+}
+
 // (wall-clock rate) plus the *simulated* remount latency sim_remount_ms;
 // there is deliberately no sim_ios_per_s counter — that metric is the
 // compare_bench.py throughput gate, and remount has its own.
@@ -404,6 +450,12 @@ BENCHMARK(BM_DegradedRandRead4K)
     ->ArgName("degraded")
     ->Arg(0)
     ->Arg(1)
+    ->Unit(::benchmark::kMillisecond);
+// Uniform (theta=0) and the YCSB-default skew (theta=0.99).
+BENCHMARK(BM_CacheRandGet4K)
+    ->ArgName("zipf_theta_pct")
+    ->Arg(0)
+    ->Arg(99)
     ->Unit(::benchmark::kMillisecond);
 // Full interval grid at the fullness extremes (the O(1) story), plus the
 // checkpoint-off and 4k-interval points at the mid fullness levels.

@@ -21,10 +21,10 @@ bool ProbeLowLatencyMedia() {
   // scale: 4 KiB staged read ~ tens of us.
   auto dev = MakeConZone();
   SimTime t;
-  t = dev->Write(0, 4096, t).value();
+  t = dev->Write(IoRequest{0, 4096, t}).value().done;
   t = dev->Flush(t).value();  // 4 KiB lands in SLC (premature)
   const SimTime r0 = t;
-  const SimTime r1 = dev->Read(0, 4096, r0).value();
+  const SimTime r1 = dev->Read(IoRequest{0, 4096, r0}).value().done;
   return (r1 - r0).us() < 100.0 &&
          dev->media_counters().slots_programmed_slc == 1;
 }
@@ -33,9 +33,9 @@ bool ProbeHeterogeneousMedia() {
   // Premature flush -> SLC; full superpage -> TLC. Both media in one run.
   auto dev = MakeConZone();
   SimTime t;
-  t = dev->Write(0, 48 * kKiB, t).value();
-  t = dev->Write(2 * dev->info().zone_size_bytes, 4096, t).value();  // conflict
-  t = dev->Write(dev->info().zone_size_bytes, 384 * kKiB, t).value();
+  t = dev->Write(IoRequest{0, 48 * kKiB, t}).value().done;
+  t = dev->Write(IoRequest{2 * dev->info().zone_size_bytes, 4096, t}).value().done;  // conflict
+  t = dev->Write(IoRequest{dev->info().zone_size_bytes, 384 * kKiB, t}).value().done;
   return dev->media_counters().slots_programmed_slc > 0 &&
          dev->media_counters().slots_programmed_normal > 0;
 }
@@ -55,7 +55,7 @@ bool ProbeHybridMapping() {
   auto dev = MakeConZone();
   SimTime t;
   for (std::uint64_t off = 0; off < dev->info().zone_size_bytes; off += 512 * kKiB) {
-    t = dev->Write(off, 512 * kKiB, t).value();
+    t = dev->Write(IoRequest{off, 512 * kKiB, t}).value().done;
   }
   return dev->mapping().Get(Lpn{0}).gran == MapGranularity::kZone;
 }

@@ -109,5 +109,24 @@ int main(int argc, char** argv) {
       PercentileUs(r.recovery.remount_hist, 0.99));
   std::printf("  rec: %s\n", r.recovery.Summary().c_str());
   std::printf("  rel: %s\n", r.reliability.Summary().c_str());
+  // Per-IoClass traffic split over the merged fleet counters; classes
+  // with no IO stay hidden (the soak's own stream is host-foreground,
+  // so migration/maintenance only show up once tagged IO exists).
+  static const char* kClassNames[kNumIoClasses] = {"foreground", "migration",
+                                                   "maintenance"};
+  bool any_class = false;
+  for (std::size_t c = 0; c < kNumIoClasses; ++c) {
+    any_class |= r.device.class_reads[c] != 0 || r.device.class_writes[c] != 0;
+  }
+  if (any_class) {
+    std::printf("  io classes:");
+    for (std::size_t c = 0; c < kNumIoClasses; ++c) {
+      if (r.device.class_reads[c] == 0 && r.device.class_writes[c] == 0) continue;
+      std::printf(" %s r=%llu w=%llu", kClassNames[c],
+                  static_cast<unsigned long long>(r.device.class_reads[c]),
+                  static_cast<unsigned long long>(r.device.class_writes[c]));
+    }
+    std::printf("\n");
+  }
   return 0;
 }

@@ -57,6 +57,19 @@ int main() {
               static_cast<unsigned long long>(snap.premature_flushes),
               static_cast<unsigned long long>(d.stats().folds),
               snap.WriteAmplification());
+  // Per-IoClass traffic split, printed only for classes that saw IO:
+  // plain FIO traffic is all host-foreground, so the other columns stay
+  // hidden until something (a cache, a scrubber) issues tagged IO.
+  static const char* kClassNames[kNumIoClasses] = {"foreground", "migration",
+                                                   "maintenance"};
+  std::printf("io classes      :");
+  for (std::size_t c = 0; c < kNumIoClasses; ++c) {
+    if (snap.class_reads[c] == 0 && snap.class_writes[c] == 0) continue;
+    std::printf(" %s r=%llu w=%llu", kClassNames[c],
+                static_cast<unsigned long long>(snap.class_reads[c]),
+                static_cast<unsigned long long>(snap.class_writes[c]));
+  }
+  std::printf("\n");
   std::printf("aggregates      : %llu chunk, %llu zone\n",
               static_cast<unsigned long long>(d.stats().aggregates_chunk),
               static_cast<unsigned long long>(d.stats().aggregates_zone));

@@ -1,0 +1,123 @@
+#include "cache/zone_cache_fsck.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace conzone {
+
+namespace {
+
+constexpr std::uint64_t kFsckFnvOffset = 0xCBF29CE484222325ull;
+constexpr std::uint64_t kFsckFnvPrime = 0x100000001B3ull;
+
+std::uint64_t Mix(std::uint64_t h, std::uint64_t x) {
+  return (h ^ x) * kFsckFnvPrime;
+}
+
+}  // namespace
+
+ZoneCacheFsck::Report ZoneCacheFsck::Check(const ZoneCache& cache, SimTime now) {
+  Report rep;
+  StorageDevice* dev = cache.device();
+  const std::uint64_t slot = cache.slot_bytes();
+  const std::uint64_t zone_slots = cache.zone_slots();
+  const auto entries = cache.IndexSnapshot();  // sorted by key
+
+  const auto flag = [&rep](std::string what) {
+    ++rep.inconsistencies;
+    rep.problems.push_back(std::move(what));
+  };
+
+  if (entries.size() > cache.max_entries()) {
+    flag("index holds " + std::to_string(entries.size()) +
+         " entries, journal snapshot bound is " +
+         std::to_string(cache.max_entries()));
+  }
+
+  // Invariant 1: every entry's header token must be recomputable from
+  // the durable value pages behind it.
+  std::uint64_t fp = kFsckFnvOffset;
+  std::unordered_map<std::uint32_t, std::uint64_t> zone_live;
+  struct Extent {
+    std::uint32_t zone;
+    std::uint32_t first;
+    std::uint32_t last;  // inclusive
+    std::uint64_t key;
+  };
+  std::vector<Extent> extents;
+  extents.reserve(entries.size());
+
+  for (const auto& e : entries) {
+    ++rep.entries_checked;
+    const std::uint64_t span_slots = 1ull + e.value_slots;
+    if (!cache.IsDataZone(e.zone) || e.value_slots == 0 ||
+        e.slot + span_slots > zone_slots) {
+      flag("key " + std::to_string(e.key) + ": location (zone " +
+           std::to_string(e.zone) + ", slot " + std::to_string(e.slot) +
+           ", +" + std::to_string(span_slots) + ") outside the data space");
+      continue;
+    }
+    zone_live[e.zone] += span_slots;
+    extents.push_back(Extent{e.zone, e.slot,
+                             static_cast<std::uint32_t>(e.slot + span_slots - 1),
+                             e.key});
+
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(e.zone) * zone_slots * slot +
+        static_cast<std::uint64_t>(e.slot) * slot;
+    auto rd = dev->Read(IoRequest{base, span_slots * slot, now, {},
+                                  /*want_tokens=*/true, IoClass::kMaintenance});
+    if (!rd.ok()) {
+      flag("key " + std::to_string(e.key) + ": live entry unreadable: " +
+           std::string(rd.status().message()));
+      continue;
+    }
+    const auto& t = rd.value().tokens;
+    const std::span<const std::uint64_t> value(t.data() + 1, t.size() - 1);
+    const std::uint64_t want = ZoneCache::HeaderToken(e.key, e.value_slots, value);
+    if (t[0] != want) {
+      flag("key " + std::to_string(e.key) + ": header token mismatch at zone " +
+           std::to_string(e.zone) + " slot " + std::to_string(e.slot));
+      continue;
+    }
+    rep.live_slots += span_slots;
+    fp = Mix(fp, e.key);
+    fp = Mix(fp, (static_cast<std::uint64_t>(e.zone) << 32) | e.slot);
+    for (std::uint64_t v : t) fp = Mix(fp, v);
+  }
+
+  // Invariant 2: live extents are pairwise disjoint.
+  std::sort(extents.begin(), extents.end(), [](const Extent& a, const Extent& b) {
+    return a.zone != b.zone ? a.zone < b.zone : a.first < b.first;
+  });
+  for (std::size_t i = 1; i < extents.size(); ++i) {
+    const Extent& p = extents[i - 1];
+    const Extent& c = extents[i];
+    if (p.zone == c.zone && c.first <= p.last) {
+      flag("keys " + std::to_string(p.key) + " and " + std::to_string(c.key) +
+           " overlap in zone " + std::to_string(p.zone));
+    }
+  }
+
+  // Invariant 3: the cache's per-zone live accounting matches the index.
+  const std::uint32_t num_zones =
+      static_cast<std::uint32_t>(dev->info().num_zones);
+  for (std::uint32_t z = 0; z < num_zones; ++z) {
+    if (!cache.IsDataZone(z)) continue;
+    const std::uint64_t want = [&] {
+      auto it = zone_live.find(z);
+      return it == zone_live.end() ? 0ull : it->second;
+    }();
+    const std::uint64_t have = cache.LiveSlotsOfZone(z);
+    if (want != have) {
+      flag("zone " + std::to_string(z) + ": live-slot count " +
+           std::to_string(have) + " disagrees with index total " +
+           std::to_string(want));
+    }
+  }
+
+  rep.fingerprint = rep.ok() ? fp : 0;
+  return rep;
+}
+
+}  // namespace conzone

@@ -1,0 +1,47 @@
+// ZoneCacheFsck — offline verifier for a mounted ZoneCache (DESIGN.md
+// §14e), in the spirit of btrfs-progs `check/`: walk the on-flash state
+// a Mount() produced and prove the semantic invariants hold:
+//
+//   1. every index entry points at durable media whose header token
+//      matches the key, length, and value content actually stored;
+//   2. no two live entries overlap, and every entry lies inside one
+//      data zone;
+//   3. per-zone live-slot accounting matches the index exactly;
+//   4. the index respects the journal's snapshot bound (max_entries).
+//
+// Fsck never mutates anything — reads are tagged IoClass::kMaintenance
+// — and it reports every violation it finds rather than stopping at the
+// first, so a crash-sweep failure names all the damage at once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/zone_cache.hpp"
+#include "common/status.hpp"
+#include "common/time.hpp"
+
+namespace conzone {
+
+class ZoneCacheFsck {
+ public:
+  struct Report {
+    std::uint64_t entries_checked = 0;
+    std::uint64_t live_slots = 0;      ///< Header+value slots verified.
+    std::uint32_t inconsistencies = 0;
+    std::vector<std::string> problems;  ///< One line per violation.
+    /// Order-independent digest of the verified state (keys, locations,
+    /// value content) — equal across two mounts iff the caches agree.
+    std::uint64_t fingerprint = 0;
+
+    bool ok() const { return inconsistencies == 0; }
+  };
+
+  /// Verify `cache` (already mounted) against its device's media at
+  /// simulated time `now`. I/O failures on claimed-live entries count
+  /// as inconsistencies, not hard errors.
+  static Report Check(const ZoneCache& cache, SimTime now);
+};
+
+}  // namespace conzone

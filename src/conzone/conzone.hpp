@@ -10,6 +10,8 @@
 #pragma once
 
 #include "buffer/write_buffer.hpp"     // IWYU pragma: export
+#include "cache/zone_cache.hpp"        // IWYU pragma: export
+#include "cache/zone_cache_fsck.hpp"   // IWYU pragma: export
 #include "common/ids.hpp"              // IWYU pragma: export
 #include "common/rng.hpp"              // IWYU pragma: export
 #include "common/stats.hpp"            // IWYU pragma: export
@@ -37,5 +39,6 @@
 #include "legacy/legacy_device.hpp"    // IWYU pragma: export
 #include "shard/sharded_runner.hpp"    // IWYU pragma: export
 #include "soak/fleet_soak.hpp"         // IWYU pragma: export
+#include "workload/cache_workload.hpp" // IWYU pragma: export
 #include "workload/fio.hpp"            // IWYU pragma: export
 #include "zns/zone.hpp"                // IWYU pragma: export

@@ -143,7 +143,9 @@ Status CrashConsistencyChecker::VerifySequentialZone(ConZoneDevice& dev, ZoneId 
   // 1. Everything below the recovered write pointer must read back.
   std::vector<std::uint64_t> read_tokens;
   if (wp_slots > 0) {
-    auto rd = dev.Read(base, wp_slots * slot, now, &read_tokens);
+    auto rd = dev.Read(IoRequest{base, wp_slots * slot, now, {},
+                                 /*want_tokens=*/true, IoClass::kMaintenance});
+    if (rd.ok()) read_tokens = std::move(rd.value().tokens);
     if (!rd.ok()) {
       return fail("write pointer exceeds readable content: " +
                   std::string(rd.status().message()));
@@ -183,7 +185,8 @@ Status CrashConsistencyChecker::VerifySequentialZone(ConZoneDevice& dev, ZoneId 
 
   // 4. Reads past the recovered write pointer must fail.
   if (info.write_pointer < dev.zones().config().zone_capacity_bytes) {
-    auto rd = dev.Read(base + info.write_pointer, slot, now);
+    auto rd = dev.Read(IoRequest{base + info.write_pointer, slot, now, {},
+                                 /*want_tokens=*/false, IoClass::kMaintenance});
     if (rd.ok()) return fail("read beyond the recovered write pointer succeeded");
   }
 
@@ -208,7 +211,9 @@ Status CrashConsistencyChecker::VerifyConventionalZone(ConZoneDevice& dev, ZoneI
     const std::uint64_t lpn = zone.value() * lpns_per_zone_ + k;
     const std::uint64_t d = durable_ ? durable_->conv[lpn] : 0;
     std::vector<std::uint64_t> tok;
-    auto rd = dev.Read(lpn * slot, slot, now, &tok);
+    auto rd = dev.Read(IoRequest{lpn * slot, slot, now, {}, /*want_tokens=*/true,
+                                 IoClass::kMaintenance});
+    if (rd.ok()) tok = std::move(rd.value().tokens);
     if (!rd.ok()) {
       if (d != 0) {
         return Status::Internal("conventional lpn " + std::to_string(lpn) +
@@ -323,10 +328,10 @@ Status CrashHarness::RunOne() {
     for (auto& t : tokens) t = next_token_++;
     const std::uint64_t off =
         zone.value() * cfg_.zone_size_bytes + off_slots * slot;
-    auto done = dev_->Write(off, len_slots * slot, submit, tokens);
+    auto done = dev_->Write(IoRequest{off, len_slots * slot, submit, tokens});
     if (!done.ok()) return done.status();
-    checker_->OnWrite(off, tokens, submit, done.value());
-    now_ = done.value();
+    checker_->OnWrite(off, tokens, submit, done.value().done);
+    now_ = done.value().done;
     return Status::Ok();
   }
   r = cfg_.num_conventional_zones > 0 ? r - opt_.conv_prob : r;
@@ -385,10 +390,10 @@ Status CrashHarness::RunOne() {
   std::vector<std::uint64_t> tokens(len_slots);
   for (auto& t : tokens) t = next_token_++;
   const std::uint64_t off = zone.value() * cfg_.zone_size_bytes + info->write_pointer;
-  auto done = dev_->Write(off, len_slots * slot, submit, tokens);
+  auto done = dev_->Write(IoRequest{off, len_slots * slot, submit, tokens});
   if (!done.ok()) return done.status();
-  checker_->OnWrite(off, tokens, submit, done.value());
-  now_ = done.value();
+  checker_->OnWrite(off, tokens, submit, done.value().done);
+  now_ = done.value().done;
   return Status::Ok();
 }
 

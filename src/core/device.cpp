@@ -102,6 +102,7 @@ DeviceInfo ConZoneDevice::info() const {
 Result<IoResult> ConZoneDevice::Write(const IoRequest& req) {
   auto done = WriteImpl(req.offset, req.len, req.now, req.tokens);
   if (!done.ok()) return done.status();
+  ++class_writes_[static_cast<std::size_t>(req.io_class)];
   return IoResult{done.value(), {}};
 }
 
@@ -110,6 +111,7 @@ Result<IoResult> ConZoneDevice::Read(const IoRequest& req) {
   auto done =
       ReadImpl(req.offset, req.len, req.now, req.want_tokens ? &res.tokens : nullptr);
   if (!done.ok()) return done.status();
+  ++class_reads_[static_cast<std::size_t>(req.io_class)];
   res.done = done.value();
   return res;
 }
@@ -129,6 +131,8 @@ StatsSnapshot ConZoneDevice::Stats() const {
   s.overwrites = stats_.conventional_overwrites;
   s.gc_runs = gc_.stats().runs + stats_.conventional_gc_runs;
   s.gc_slots_migrated = gc_.stats().slots_migrated + stats_.conventional_gc_migrated;
+  s.class_reads = class_reads_;
+  s.class_writes = class_writes_;
   return s;
 }
 
@@ -150,6 +154,8 @@ Lpn ConZoneDevice::ZoneBaseLpn(ZoneId zone) const {
 
 void ConZoneDevice::ResetStats() {
   stats_ = ConZoneStats{};
+  class_reads_ = {};
+  class_writes_ = {};
   translator_.ResetStats();
   cache_.ResetStats();
   array_.ResetCounters();
@@ -834,7 +840,13 @@ Result<SimTime> ConZoneDevice::ReadImpl(std::uint64_t offset, std::uint64_t len,
   if (div_slot_.Mod(offset) != 0 || div_slot_.Mod(len) != 0 || len == 0) {
     return Status::InvalidArgument("read must be 4 KiB aligned and non-empty");
   }
-  if (offset + len > layout_.device_capacity()) {
+  // Full logical capacity: the conventional pool precedes the
+  // sequential zones, so the bound must include both (the write path's
+  // zone-count check already does).
+  if (offset + len >
+      layout_.device_capacity() +
+          static_cast<std::uint64_t>(cfg_.num_conventional_zones) *
+              cfg_.zone_size_bytes) {
     return Status::OutOfRange("read beyond device capacity");
   }
 

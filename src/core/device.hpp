@@ -83,8 +83,6 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
 
   Result<IoResult> Write(const IoRequest& req) override;
   Result<IoResult> Read(const IoRequest& req) override;
-  using StorageDevice::Write;  // compat (offset, len, now, ...) overloads
-  using StorageDevice::Read;
   Result<SimTime> ResetZone(ZoneId zone, SimTime now) override;
   Result<SimTime> Flush(SimTime now) override;
   StatsSnapshot Stats() const override;
@@ -345,6 +343,9 @@ class ConZoneDevice final : public StorageDevice, private PhysicalResolver {
   std::vector<ZoneRuntime> runtime_;
   std::vector<SimTime> buffer_ready_;  ///< Per-buffer flush completion.
   ConZoneStats stats_;
+  /// Successful reads/writes bucketed by IoRequest::io_class.
+  std::array<std::uint64_t, kNumIoClasses> class_reads_{};
+  std::array<std::uint64_t, kNumIoClasses> class_writes_{};
   bool read_only_ = false;  ///< Latched by InReadOnly(); reads still serve.
 
   // --- Power-loss state ---

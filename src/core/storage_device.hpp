@@ -14,6 +14,7 @@
 // never probe by issuing an op and sniffing for kUnimplemented.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -62,6 +63,19 @@ struct DeviceInfo {
   bool zoned() const { return zone_size_bytes != 0; }
 };
 
+/// Who issued an I/O. Host layers tag their internal traffic so device
+/// counters can attribute it instead of blending everything into the
+/// foreground stream: a ZoneCache eviction that migrates live entries is
+/// real device load, but it is not host load, and capacity planning needs
+/// to see the two separately. Devices bucket per-class counters in
+/// StatsSnapshot; the class never changes scheduling or timing.
+enum class IoClass : std::uint8_t {
+  kHostForeground = 0,  ///< Ordinary host I/O (the default).
+  kCacheMigration = 1,  ///< Cache eviction/migration rewrites.
+  kMaintenance = 2,     ///< Journals, scrub, verify, mount-time reads.
+};
+inline constexpr std::size_t kNumIoClasses = 3;
+
 /// One host I/O, fully described. Replaces the growing default-argument
 /// tail on Write/Read: future fields (priority, deadline, async
 /// completion hooks) extend this struct instead of every signature.
@@ -76,6 +90,10 @@ struct IoRequest {
   /// Reads: fill IoResult::tokens with the stored token of each 4 KiB
   /// page. Off by default — the hot path stays allocation-free.
   bool want_tokens = false;
+  /// Attribution class (see IoClass). Default-constructed requests are
+  /// foreground and behave bit-identically to requests that predate the
+  /// tag.
+  IoClass io_class = IoClass::kHostForeground;
 };
 
 /// Completion of one host I/O.
@@ -107,6 +125,12 @@ struct StatsSnapshot {
   std::uint64_t overwrites = 0;  ///< In-place updates (conventional space).
   std::uint64_t gc_runs = 0;
   std::uint64_t gc_slots_migrated = 0;
+  /// Per-IoClass breakdown of successful reads/writes (indexed by
+  /// IoClass). Devices that predate the tag leave these zero. The sums
+  /// stay <= the blended `reads`/`writes`, which also count requests
+  /// that fail after admission (e.g. reads past a write pointer).
+  std::array<std::uint64_t, kNumIoClasses> class_reads{};
+  std::array<std::uint64_t, kNumIoClasses> class_writes{};
 
   double WriteAmplification() const {
     return host_bytes_written == 0
@@ -129,6 +153,10 @@ struct StatsSnapshot {
     overwrites += o.overwrites;
     gc_runs += o.gc_runs;
     gc_slots_migrated += o.gc_slots_migrated;
+    for (std::size_t c = 0; c < kNumIoClasses; ++c) {
+      class_reads[c] += o.class_reads[c];
+      class_writes[c] += o.class_writes[c];
+    }
   }
 
   bool operator==(const StatsSnapshot&) const = default;
@@ -172,26 +200,6 @@ class StorageDevice {
   /// emulation. Hosts and harnesses aggregate this uniformly — no
   /// downcast to a concrete device type.
   virtual RecoveryStats Recovery() const { return {}; }
-
-  // --- Thin compatibility overloads (one PR of grace; callers should
-  // migrate to the IoRequest/IoResult forms above) ---
-
-  Result<SimTime> Write(std::uint64_t offset, std::uint64_t len, SimTime now,
-                        std::span<const std::uint64_t> tokens = {}) {
-    auto r = Write(IoRequest{offset, len, now, tokens, /*want_tokens=*/false});
-    if (!r.ok()) return r.status();
-    return r.value().done;
-  }
-
-  Result<SimTime> Read(std::uint64_t offset, std::uint64_t len, SimTime now,
-                       std::vector<std::uint64_t>* tokens_out = nullptr) {
-    IoRequest req{offset, len, now, {}, /*want_tokens=*/tokens_out != nullptr};
-    auto r = Read(req);
-    if (!r.ok()) return r.status();
-    IoResult res = std::move(r).value();
-    if (tokens_out != nullptr) *tokens_out = std::move(res.tokens);
-    return res.done;
-  }
 };
 
 }  // namespace conzone

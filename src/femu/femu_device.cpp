@@ -55,6 +55,7 @@ DeviceInfo FemuModelDevice::info() const {
 Result<IoResult> FemuModelDevice::Write(const IoRequest& req) {
   auto done = WriteImpl(req.offset, req.len, req.now, req.tokens);
   if (!done.ok()) return done.status();
+  ++class_writes_[static_cast<std::size_t>(req.io_class)];
   return IoResult{done.value(), {}};
 }
 
@@ -63,6 +64,7 @@ Result<IoResult> FemuModelDevice::Read(const IoRequest& req) {
   auto done =
       ReadImpl(req.offset, req.len, req.now, req.want_tokens ? &res.tokens : nullptr);
   if (!done.ok()) return done.status();
+  ++class_reads_[static_cast<std::size_t>(req.io_class)];
   res.done = done.value();
   return res;
 }
@@ -76,6 +78,8 @@ StatsSnapshot FemuModelDevice::Stats() const {
   s.flash_bytes_written = stats_.superpage_programs * cfg_.geometry.SuperpageBytes();
   s.writes = stats_.writes;
   s.reads = stats_.reads;
+  s.class_reads = class_reads_;
+  s.class_writes = class_writes_;
   return s;
 }
 

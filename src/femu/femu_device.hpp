@@ -62,8 +62,6 @@ class FemuModelDevice final : public StorageDevice {
   DeviceInfo info() const override;
   Result<IoResult> Write(const IoRequest& req) override;
   Result<IoResult> Read(const IoRequest& req) override;
-  using StorageDevice::Write;  // compat (offset, len, now, ...) overloads
-  using StorageDevice::Read;
   Result<SimTime> ResetZone(ZoneId zone, SimTime now) override;
   Result<SimTime> Flush(SimTime now) override;
   StatsSnapshot Stats() const override;
@@ -94,6 +92,9 @@ class FemuModelDevice final : public StorageDevice {
   std::vector<std::uint64_t> buffered_;  ///< Per-zone bytes not yet programmed.
   std::vector<SimTime> buffer_ready_;    ///< Per-zone flush completion.
   FemuStats stats_;
+  /// Successful reads/writes bucketed by IoRequest::io_class.
+  std::array<std::uint64_t, kNumIoClasses> class_reads_{};
+  std::array<std::uint64_t, kNumIoClasses> class_writes_{};
 };
 
 }  // namespace conzone

@@ -326,7 +326,8 @@ Result<IoResult> RedundantVolume::WriteMirror(const IoRequest& req,
   FanOut(exec_, target_scratch_.size(), [&](std::size_t i) {
     const std::uint32_t m = base + target_scratch_[i];
     auto res = members_[m]->Write(
-        IoRequest{moff, req.len, req.now, toks, /*want_tokens=*/false});
+        IoRequest{moff, req.len, req.now, toks, /*want_tokens=*/false,
+                  req.io_class});
     if (!res.ok()) {
       run_status_[i] = res.status();
     } else {
@@ -436,7 +437,7 @@ Result<IoResult> RedundantVolume::WriteParity(const IoRequest& req,
     auto res = members_[base + lane]->Write(
         IoRequest{run_off, run_len, req.now,
                   std::span<const std::uint64_t>(lane_tokens_[lane]),
-                  /*want_tokens=*/false});
+                  /*want_tokens=*/false, req.io_class});
     if (!res.ok()) {
       run_status_[i] = res.status();
     } else {
@@ -505,7 +506,7 @@ Result<IoResult> RedundantVolume::ReadMirror(const IoRequest& req,
     const std::uint32_t m = base + lane;
     if (!Readable(m)) continue;
     auto res = members_[m]->Read(
-        IoRequest{moff, req.len, req.now, {}, req.want_tokens});
+        IoRequest{moff, req.len, req.now, {}, req.want_tokens, req.io_class});
     if (res.ok()) {
       IoResult out = std::move(res).value();
       if (t != 0) {
@@ -580,7 +581,7 @@ Result<IoResult> RedundantVolume::ReadParity(const IoRequest& req,
     for (std::size_t idx : by_lane[target_scratch_[ti]]) {
       const Frag& f = frags[idx];
       auto res = members_[base + f.lane]->Read(
-          IoRequest{f.moff, f.len, req.now, {}, req.want_tokens});
+          IoRequest{f.moff, f.len, req.now, {}, req.want_tokens, req.io_class});
       if (!res.ok()) {
         fstat[idx] = res.status();
       } else {
@@ -901,7 +902,8 @@ std::uint64_t RedundantVolume::ProbePrefix(std::uint32_t m, std::uint64_t base,
   while (lo < hi) {
     const std::uint64_t mid = lo + (hi - lo) / 2;
     auto r = members_[m]->Read(
-        IoRequest{base + mid * align_, align_, now, {}, /*want_tokens=*/false});
+        IoRequest{base + mid * align_, align_, now, {}, /*want_tokens=*/false,
+                  IoClass::kMaintenance});
     if (r.ok()) {
       *done = Later(*done, r.value().done);
       lo = mid + 1;
@@ -1018,7 +1020,8 @@ Result<SimTime> RedundantVolume::ScrubRowMirror(std::uint64_t logical,
     }
     part[lane] = 1;
     auto res = members_[m]->Read(
-        IoRequest{row_off, stripe_, now, {}, /*want_tokens=*/true});
+        IoRequest{row_off, stripe_, now, {}, /*want_tokens=*/true,
+                  IoClass::kMaintenance});
     if (res.ok()) {
       prefix[lane] = slots;
       toks[lane] = std::move(res.value().tokens);
@@ -1029,7 +1032,8 @@ Result<SimTime> RedundantVolume::ScrubRowMirror(std::uint64_t logical,
     prefix[lane] = ProbePrefix(m, row_off, stripe_, now, &done);
     if (prefix[lane] > 0) {
       auto rr = members_[m]->Read(IoRequest{row_off, prefix[lane] * align_, now,
-                                            {}, /*want_tokens=*/true});
+                                            {}, /*want_tokens=*/true,
+                  IoClass::kMaintenance});
       if (rr.ok()) {
         toks[lane] = std::move(rr.value().tokens);
         done = Later(done, rr.value().done);
@@ -1113,7 +1117,8 @@ Result<SimTime> RedundantVolume::ScrubRowMirror(std::uint64_t logical,
         row_off + prefix[lane] * align_, (max_p - prefix[lane]) * align_, now,
         std::span<const std::uint64_t>(toks[src].data() + prefix[lane],
                                        max_p - prefix[lane]),
-        /*want_tokens=*/false});
+        /*want_tokens=*/false,
+                  IoClass::kMaintenance});
     if (w.ok()) {
       red_.scrub_repaired_slots += max_p - prefix[lane];
       done = Later(done, w.value().done);
@@ -1146,7 +1151,8 @@ Result<SimTime> RedundantVolume::ScrubRowParity(std::uint64_t logical,
       continue;
     }
     auto res = members_[m]->Read(
-        IoRequest{row_off, stripe_, now, {}, /*want_tokens=*/true});
+        IoRequest{row_off, stripe_, now, {}, /*want_tokens=*/true,
+                  IoClass::kMaintenance});
     if (res.ok()) {
       prefix[lane] = slots;
       toks[lane] = std::move(res.value().tokens);
@@ -1157,7 +1163,8 @@ Result<SimTime> RedundantVolume::ScrubRowParity(std::uint64_t logical,
     prefix[lane] = ProbePrefix(m, row_off, stripe_, now, &done);
     if (prefix[lane] > 0) {
       auto rr = members_[m]->Read(IoRequest{row_off, prefix[lane] * align_, now,
-                                            {}, /*want_tokens=*/true});
+                                            {}, /*want_tokens=*/true,
+                  IoClass::kMaintenance});
       if (rr.ok()) {
         toks[lane] = std::move(rr.value().tokens);
         done = Later(done, rr.value().done);
@@ -1253,7 +1260,8 @@ Result<SimTime> RedundantVolume::ScrubRowParity(std::uint64_t logical,
       }
       auto w = members_[m]->Write(
           IoRequest{row_off + prefix[short_lane] * align_, nmiss * align_, now,
-                    std::span<const std::uint64_t>(rec), /*want_tokens=*/false});
+                    std::span<const std::uint64_t>(rec), /*want_tokens=*/false,
+                  IoClass::kMaintenance});
       if (w.ok()) {
         red_.scrub_repaired_slots += nmiss;
         done = Later(done, w.value().done);
@@ -1295,7 +1303,8 @@ Result<SimTime> RedundantVolume::ScrubConventional(SimTime now, bool* content) {
     toks[m].assign(slots, 0);
     have[m].assign(slots, 0);
     auto res =
-        members_[m]->Read(IoRequest{off, chunk, now, {}, /*want_tokens=*/true});
+        members_[m]->Read(IoRequest{off, chunk, now, {}, /*want_tokens=*/true,
+                  IoClass::kMaintenance});
     if (res.ok()) {
       for (std::uint64_t j = 0; j < slots; ++j) {
         toks[m][j] = res.value().tokens[j];
@@ -1307,7 +1316,8 @@ Result<SimTime> RedundantVolume::ScrubConventional(SimTime now, bool* content) {
     if (!Reconstructable(res.status().code())) return res.status();
     for (std::uint64_t j = 0; j < slots; ++j) {
       auto sr = members_[m]->Read(IoRequest{off + j * align_, align_, now, {},
-                                            /*want_tokens=*/true});
+                                            /*want_tokens=*/true,
+                  IoClass::kMaintenance});
       if (sr.ok()) {
         toks[m][j] = sr.value().tokens[0];
         have[m][j] = 1;
@@ -1364,7 +1374,8 @@ Result<SimTime> RedundantVolume::ScrubConventional(SimTime now, bool* content) {
           off + j * align_, align_, now,
           std::span<const std::uint64_t>(
               &toks[static_cast<std::uint32_t>(src)][j], 1),
-          /*want_tokens=*/false});
+          /*want_tokens=*/false,
+                  IoClass::kMaintenance});
       if (w.ok()) {
         red_.scrub_repaired_slots++;
         done = Later(done, w.value().done);
@@ -1572,7 +1583,8 @@ Result<SimTime> RedundantVolume::RebuildRow(SimTime now, bool* content) {
       return Status::FailedPrecondition("no surviving source for rebuild");
     }
     auto res = members_[static_cast<std::uint32_t>(peer0)]->Read(
-        IoRequest{moff, span, now, {}, /*want_tokens=*/true});
+        IoRequest{moff, span, now, {}, /*want_tokens=*/true,
+                  IoClass::kMaintenance});
     if (res.ok()) {
       data = std::move(res.value().tokens);
       done = Later(done, res.value().done);
@@ -1597,7 +1609,8 @@ Result<SimTime> RedundantVolume::RebuildRow(SimTime now, bool* content) {
         return done;
       }
       auto rr = members_[static_cast<std::uint32_t>(bm)]->Read(
-          IoRequest{moff, best * align_, now, {}, /*want_tokens=*/true});
+          IoRequest{moff, best * align_, now, {}, /*want_tokens=*/true,
+                  IoClass::kMaintenance});
       if (!rr.ok()) return rr.status();
       data = std::move(rr.value().tokens);
       done = Later(done, rr.value().done);
@@ -1619,7 +1632,8 @@ Result<SimTime> RedundantVolume::RebuildRow(SimTime now, bool* content) {
         return Status::FailedPrecondition("rebuild source is powered off");
       }
       auto res = members_[pm]->Read(
-          IoRequest{moff, span, now, {}, /*want_tokens=*/true});
+          IoRequest{moff, span, now, {}, /*want_tokens=*/true,
+                  IoClass::kMaintenance});
       if (res.ok()) {
         lt.push_back(std::move(res.value().tokens));
         done = Later(done, res.value().done);
@@ -1630,7 +1644,8 @@ Result<SimTime> RedundantVolume::RebuildRow(SimTime now, bool* content) {
       min_p = std::min(min_p, p);
       if (p > 0) {
         auto rr = members_[pm]->Read(
-            IoRequest{moff, p * align_, now, {}, /*want_tokens=*/true});
+            IoRequest{moff, p * align_, now, {}, /*want_tokens=*/true,
+                  IoClass::kMaintenance});
         if (!rr.ok()) return rr.status();
         lt.push_back(std::move(rr.value().tokens));
         done = Later(done, rr.value().done);
@@ -1651,7 +1666,8 @@ Result<SimTime> RedundantVolume::RebuildRow(SimTime now, bool* content) {
 
   auto w = members_[m]->Write(IoRequest{
       moff, data.size() * align_, now, std::span<const std::uint64_t>(data),
-      /*want_tokens=*/false});
+      /*want_tokens=*/false,
+                  IoClass::kMaintenance});
   if (!w.ok()) {
     if (Status st = FreshWriteFailed(w.status(), now, &done); !st.ok()) {
       return st;
@@ -1714,12 +1730,14 @@ Result<SimTime> RedundantVolume::RebuildConventionalChunk(SimTime now,
   }
 
   auto res = members_[target_scratch_[0]]->Read(
-      IoRequest{off, chunk, now, {}, /*want_tokens=*/true});
+      IoRequest{off, chunk, now, {}, /*want_tokens=*/true,
+                  IoClass::kMaintenance});
   if (res.ok()) {
     auto w = members_[m]->Write(
         IoRequest{off, chunk, now,
                   std::span<const std::uint64_t>(res.value().tokens),
-                  /*want_tokens=*/false});
+                  /*want_tokens=*/false,
+                  IoClass::kMaintenance});
     if (!w.ok()) return w.status();
     done = Later(done, res.value().done);
     done = Later(done, w.value().done);
@@ -1733,12 +1751,14 @@ Result<SimTime> RedundantVolume::RebuildConventionalChunk(SimTime now,
   for (std::uint64_t j = 0; j < slots; ++j) {
     for (std::uint32_t pm : target_scratch_) {
       auto sr = members_[pm]->Read(
-          IoRequest{off + j * align_, align_, now, {}, /*want_tokens=*/true});
+          IoRequest{off + j * align_, align_, now, {}, /*want_tokens=*/true,
+                  IoClass::kMaintenance});
       if (sr.ok()) {
         auto w = members_[m]->Write(IoRequest{
             off + j * align_, align_, now,
             std::span<const std::uint64_t>(&sr.value().tokens[0], 1),
-            /*want_tokens=*/false});
+            /*want_tokens=*/false,
+                  IoClass::kMaintenance});
         if (!w.ok()) return w.status();
         done = Later(done, sr.value().done);
         done = Later(done, w.value().done);
@@ -1775,7 +1795,8 @@ Result<SimTime> RedundantVolume::VerifyConventionalChunk(SimTime now) {
     bool mapped = false;
     for (std::uint32_t pm : target_scratch_) {
       auto sr = members_[pm]->Read(
-          IoRequest{off + j * align_, align_, now, {}, /*want_tokens=*/true});
+          IoRequest{off + j * align_, align_, now, {}, /*want_tokens=*/true,
+                  IoClass::kMaintenance});
       if (sr.ok()) {
         want = sr.value().tokens[0];
         mapped = true;
@@ -1786,7 +1807,8 @@ Result<SimTime> RedundantVolume::VerifyConventionalChunk(SimTime now) {
     }
     if (!mapped) continue;
     auto fr = members_[m]->Read(
-        IoRequest{off + j * align_, align_, now, {}, /*want_tokens=*/true});
+        IoRequest{off + j * align_, align_, now, {}, /*want_tokens=*/true,
+                  IoClass::kMaintenance});
     bool repair = true;
     if (fr.ok()) {
       repair = fr.value().tokens[0] != want;
@@ -1798,7 +1820,8 @@ Result<SimTime> RedundantVolume::VerifyConventionalChunk(SimTime now) {
     auto w = members_[m]->Write(
         IoRequest{off + j * align_, align_, now,
                   std::span<const std::uint64_t>(&want, 1),
-                  /*want_tokens=*/false});
+                  /*want_tokens=*/false,
+                  IoClass::kMaintenance});
     if (!w.ok()) return w.status();
     done = Later(done, w.value().done);
     red_.rebuild_slots_copied++;

@@ -232,7 +232,8 @@ Result<IoResult> StripedVolume::Write(const IoRequest& req) {
   if (runs_.size() == 1) {
     const Run& r = runs_[0];
     auto res = members_[r.member]->Write(IoRequest{r.offset, r.len, req.now,
-                                                   req.tokens, req.want_tokens});
+                                                   req.tokens, req.want_tokens,
+                                                   req.io_class});
     if (!res.ok()) return res.status();
     return std::move(res).value();
   }
@@ -265,7 +266,7 @@ Result<IoResult> StripedVolume::Write(const IoRequest& req) {
     IoRequest sub{r.offset, r.len, req.now,
                   tokens ? std::span<const std::uint64_t>(lane_tokens_[lane])
                          : std::span<const std::uint64_t>{},
-                  /*want_tokens=*/false};
+                  /*want_tokens=*/false, req.io_class};
     auto res = members_[r.member]->Write(sub);
     if (!res.ok()) {
       run_status_[i] = res.status();
@@ -293,7 +294,7 @@ Result<IoResult> StripedVolume::Read(const IoRequest& req) {
   if (runs_.size() == 1) {
     const Run& r = runs_[0];
     auto res = members_[r.member]->Read(
-        IoRequest{r.offset, r.len, req.now, {}, req.want_tokens});
+        IoRequest{r.offset, r.len, req.now, {}, req.want_tokens, req.io_class});
     if (!res.ok()) return res.status();
     return std::move(res).value();
   }
@@ -304,7 +305,7 @@ Result<IoResult> StripedVolume::Read(const IoRequest& req) {
   FanOut(exec_, runs_.size(), [&](std::size_t i) {
     const Run& r = runs_[i];
     auto res = members_[r.member]->Read(
-        IoRequest{r.offset, r.len, req.now, {}, req.want_tokens});
+        IoRequest{r.offset, r.len, req.now, {}, req.want_tokens, req.io_class});
     if (!res.ok()) {
       run_status_[i] = res.status();
       return;

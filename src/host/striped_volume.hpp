@@ -95,8 +95,6 @@ class StripedVolume final : public StorageDevice {
   DeviceInfo info() const override;
   Result<IoResult> Write(const IoRequest& req) override;
   Result<IoResult> Read(const IoRequest& req) override;
-  using StorageDevice::Write;  // compat (offset, len, now, ...) overloads
-  using StorageDevice::Read;
   Result<SimTime> ResetZone(ZoneId zone, SimTime now) override;
   Result<SimTime> Flush(SimTime now) override;
   StatsSnapshot Stats() const override;

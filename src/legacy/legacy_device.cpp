@@ -75,6 +75,7 @@ DeviceInfo LegacyDevice::info() const {
 Result<IoResult> LegacyDevice::Write(const IoRequest& req) {
   auto done = WriteImpl(req.offset, req.len, req.now, req.tokens);
   if (!done.ok()) return done.status();
+  ++class_writes_[static_cast<std::size_t>(req.io_class)];
   return IoResult{done.value(), {}};
 }
 
@@ -83,6 +84,7 @@ Result<IoResult> LegacyDevice::Read(const IoRequest& req) {
   auto done =
       ReadImpl(req.offset, req.len, req.now, req.want_tokens ? &res.tokens : nullptr);
   if (!done.ok()) return done.status();
+  ++class_reads_[static_cast<std::size_t>(req.io_class)];
   res.done = done.value();
   return res;
 }
@@ -100,11 +102,15 @@ StatsSnapshot LegacyDevice::Stats() const {
   s.overwrites = stats_.overwrites;
   s.gc_runs = stats_.gc_runs;
   s.gc_slots_migrated = stats_.gc_slots_migrated;
+  s.class_reads = class_reads_;
+  s.class_writes = class_writes_;
   return s;
 }
 
 void LegacyDevice::ResetStats() {
   stats_ = LegacyStats{};
+  class_reads_ = {};
+  class_writes_ = {};
   translator_.ResetStats();
   cache_.ResetStats();
   array_.ResetCounters();

@@ -79,8 +79,6 @@ class LegacyDevice final : public StorageDevice {
   DeviceInfo info() const override;
   Result<IoResult> Write(const IoRequest& req) override;
   Result<IoResult> Read(const IoRequest& req) override;
-  using StorageDevice::Write;  // compat (offset, len, now, ...) overloads
-  using StorageDevice::Read;
   Result<SimTime> Flush(SimTime now) override;
   StatsSnapshot Stats() const override;
   ReliabilityStats Reliability() const override { return array_.reliability(); }
@@ -147,6 +145,9 @@ class LegacyDevice final : public StorageDevice {
   ResourceTimeline host_link_;
   std::vector<SimTime> buffer_ready_;
   LegacyStats stats_;
+  /// Successful reads/writes bucketed by IoRequest::io_class.
+  std::array<std::uint64_t, kNumIoClasses> class_reads_{};
+  std::array<std::uint64_t, kNumIoClasses> class_writes_{};
 };
 
 }  // namespace conzone

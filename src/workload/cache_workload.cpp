@@ -1,0 +1,161 @@
+#include "workload/cache_workload.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace conzone {
+
+namespace {
+
+constexpr std::uint64_t kCwFnvOffset = 0xCBF29CE484222325ull;
+constexpr std::uint64_t kCwFnvPrime = 0x100000001B3ull;
+
+std::uint64_t Mix(std::uint64_t h, std::uint64_t x) {
+  return (h ^ x) * kCwFnvPrime;
+}
+
+double Zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t items, double theta)
+    : items_(items), theta_(theta) {
+  if (items_ == 0) items_ = 1;
+  if (theta_ <= 0.0 || theta_ >= 1.0) {
+    // Degenerate to uniform; Next() special-cases theta_ <= 0.
+    theta_ = 0.0;
+    zetan_ = alpha_ = eta_ = half_pow_ = 0.0;
+    return;
+  }
+  zetan_ = Zeta(items_, theta_);
+  const double zeta2 = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_ = 1.0 + std::pow(0.5, theta_);
+}
+
+std::uint64_t ZipfianGenerator::Next(Rng& rng) const {
+  if (theta_ <= 0.0) return rng.NextBelow(items_);
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < half_pow_) return 1;
+  const auto item = static_cast<std::uint64_t>(
+      static_cast<double>(items_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return item >= items_ ? items_ - 1 : item;
+}
+
+Result<CacheRunResult> CacheWorkloadRunner::Run(
+    ZoneCache& cache, const CacheJobSpec& spec, SimTime start,
+    const std::vector<std::uint32_t>* start_generations) {
+  if (spec.keys == 0) return Status::InvalidArgument("keys must be > 0");
+  if (spec.min_value_slots == 0 || spec.max_value_slots < spec.min_value_slots) {
+    return Status::InvalidArgument("bad value-slot range");
+  }
+  if (spec.hot_divisor == 0) {
+    return Status::InvalidArgument("hot_divisor must be > 0");
+  }
+
+  CacheRunResult res;
+  res.end = start;
+  res.generations.assign(spec.keys, 0);
+  if (start_generations != nullptr) {
+    if (start_generations->size() != spec.keys) {
+      return Status::InvalidArgument("start_generations size mismatch");
+    }
+    res.generations = *start_generations;
+  }
+
+  Rng rng(MixSeeds(spec.seed, 0x63616368u /*"cach"*/, spec.ops));
+  const ZipfianGenerator zipf(spec.keys, spec.zipf_theta);
+  std::uint64_t fp = kCwFnvOffset;
+  SimTime now = start;
+
+  std::vector<std::uint64_t> value;
+  for (std::uint64_t op = 0; op < spec.ops; ++op) {
+    const std::uint64_t key = zipf.Next(rng);
+    const bool is_get = rng.NextBool(spec.get_ratio);
+    const std::uint32_t gen = res.generations[key];
+    const std::uint32_t group = GroupOf(spec, key);
+
+    if (is_get) {
+      ++res.gets;
+      auto g = cache.Get(key, now);
+      if (!g.ok()) return g.status();
+      now = Later(now, g.value().done);
+      if (g.value().hit) {
+        ++res.hits;
+        // The served value must be one the workload acknowledged: some
+        // generation in [0, gen] — exactly `gen` unless a crash harness
+        // relaxed the check.
+        const auto& got = g.value().tokens;
+        bool matched = false;
+        std::uint32_t matched_gen = 0;
+        const std::uint32_t lo = spec.require_latest ? gen : 0;
+        for (std::uint32_t cand = gen + 1; cand-- > lo;) {
+          if (got.size() != ValueSlots(spec, key, cand)) continue;
+          bool eq = true;
+          for (std::uint32_t i = 0; i < got.size(); ++i) {
+            if (got[i] != ValueToken(spec.seed, key, cand, i)) {
+              eq = false;
+              break;
+            }
+          }
+          if (eq) {
+            matched = true;
+            matched_gen = cand;
+            break;
+          }
+        }
+        if (!matched) {
+          return Status::Internal("cache served wrong bytes for key " +
+                                  std::to_string(key));
+        }
+        fp = Mix(fp, 0x48495400ull /*HIT*/ | matched_gen);
+      } else {
+        ++res.misses;
+        // Cache-aside fill: fetch the current generation from the
+        // (simulated) backing store and admit it.
+        const std::uint32_t n = ValueSlots(spec, key, gen);
+        value.clear();
+        for (std::uint32_t i = 0; i < n; ++i) {
+          value.push_back(ValueToken(spec.seed, key, gen, i));
+        }
+        auto p = cache.Put(key, group, value, now);
+        if (!p.ok()) return p.status();
+        now = Later(now, p.value());
+        ++res.fills;
+        fp = Mix(fp, 0x4D495300ull /*MIS*/);
+      }
+    } else {
+      // Explicit put: the object changed upstream — new generation.
+      const std::uint32_t ngen = gen + 1;
+      const std::uint32_t n = ValueSlots(spec, key, ngen);
+      value.clear();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        value.push_back(ValueToken(spec.seed, key, ngen, i));
+      }
+      auto p = cache.Put(key, group, value, now);
+      if (!p.ok()) return p.status();
+      now = Later(now, p.value());
+      res.generations[key] = ngen;
+      ++res.puts;
+      fp = Mix(fp, 0x50555400ull /*PUT*/ | ngen);
+    }
+    fp = Mix(fp, key);
+    fp = Mix(fp, now.ns());
+  }
+
+  res.end = now;
+  res.fingerprint = fp;
+  return res;
+}
+
+}  // namespace conzone

@@ -445,9 +445,9 @@ Status FioRunner::Precondition(StorageDevice& device, std::uint64_t offset,
   while (off < end) {
     std::uint64_t len = std::min(block_size, end - off);
     if (zs != 0) len = std::min(len, zs - (off % zs));
-    auto r = device.Write(off, len, t);
+    auto r = device.Write(IoRequest{off, len, t});
     if (!r.ok()) return r.status();
-    t = r.value();
+    t = r.value().done;
     off += len;
   }
   auto f = device.Flush(t);

@@ -18,6 +18,8 @@
 
 #include "conzone/conzone.hpp"
 
+#include "test_io.hpp"
+
 namespace conzone {
 namespace {
 
@@ -255,7 +257,7 @@ TEST(CheckpointDeviceTest, EmptyDeviceCheckpointRoundTrips) {
   EXPECT_EQ(d.recovery_stats().checkpoint_mappings, 0u);
   EXPECT_EQ(d.mapping().mapped_count(), 0u);
   // The device serves writes again after an image-served empty mount.
-  EXPECT_TRUE(d.Write(0, 4096, r.value()).ok());
+  EXPECT_TRUE(TestWrite(d, 0, 4096, r.value()).ok());
 }
 
 TEST(CheckpointDeviceTest, IntervalPolicyWritesCheckpointsWithoutHostFlush) {
@@ -267,7 +269,7 @@ TEST(CheckpointDeviceTest, IntervalPolicyWritesCheckpointsWithoutHostFlush) {
   const std::uint64_t zone_bytes = d.config().zone_size_bytes;
   SimTime t;
   for (std::uint64_t z = 0; z < 4; ++z) {
-    auto w = d.Write(z * zone_bytes, zone_bytes, t);
+    auto w = TestWrite(d, z * zone_bytes, zone_bytes, t);
     ASSERT_TRUE(w.ok()) << w.status().ToString();
     t = w.value();
   }
@@ -280,13 +282,13 @@ TEST(CheckpointDeviceTest, HostFlushPolicyHonorsMinimumEntryFloor) {
   ASSERT_TRUE(dev.ok());
   ConZoneDevice& d = **dev;
   // 4 slots < the 16-entry floor: the flush must not pay for an image.
-  auto w = d.Write(0, 4 * 4096, SimTime::Zero());
+  auto w = TestWrite(d, 0, 4 * 4096, SimTime::Zero());
   ASSERT_TRUE(w.ok());
   auto f = d.Flush(w.value());
   ASSERT_TRUE(f.ok());
   EXPECT_EQ(d.recovery_stats().checkpoints_written, 0u);
   // 28 more cross it: the next flush checkpoints.
-  auto w2 = d.Write(4 * 4096, 28 * 4096, f.value());
+  auto w2 = TestWrite(d, 4 * 4096, 28 * 4096, f.value());
   ASSERT_TRUE(w2.ok());
   auto f2 = d.Flush(w2.value());
   ASSERT_TRUE(f2.ok());
@@ -311,9 +313,9 @@ TEST(CheckpointDeviceTest, MountSkipsBlocksOlderThanTheWatermark) {
   // Two full zones reach media, then checkpoint, then a small tail.
   const auto tok0 = Tokens(0, zone_slots);
   const auto tok1 = Tokens(zone_slots, zone_slots);
-  auto w0 = d.Write(0, zone_bytes, SimTime::Zero(), tok0);
+  auto w0 = TestWrite(d, 0, zone_bytes, SimTime::Zero(), tok0);
   ASSERT_TRUE(w0.ok());
-  auto w1 = d.Write(zone_bytes, zone_bytes, w0.value(), tok1);
+  auto w1 = TestWrite(d, zone_bytes, zone_bytes, w0.value(), tok1);
   ASSERT_TRUE(w1.ok());
   auto f = d.Flush(w1.value());
   ASSERT_TRUE(f.ok());
@@ -321,7 +323,7 @@ TEST(CheckpointDeviceTest, MountSkipsBlocksOlderThanTheWatermark) {
   ASSERT_TRUE(ck.ok()) << ck.status().ToString();
 
   const auto tail = Tokens(9000, 16);
-  auto w2 = d.Write(2 * zone_bytes, 16 * 4096, ck.value(), tail);
+  auto w2 = TestWrite(d, 2 * zone_bytes, 16 * 4096, ck.value(), tail);
   ASSERT_TRUE(w2.ok());
   auto f2 = d.Flush(w2.value());
   ASSERT_TRUE(f2.ok());
@@ -339,11 +341,11 @@ TEST(CheckpointDeviceTest, MountSkipsBlocksOlderThanTheWatermark) {
   EXPECT_GT(rs.pages_skipped, rs.pages_scanned);
 
   std::vector<std::uint64_t> got;
-  ASSERT_TRUE(d.Read(0, zone_bytes, r.value(), &got).ok());
+  ASSERT_TRUE(TestRead(d, 0, zone_bytes, r.value(), &got).ok());
   EXPECT_EQ(got, tok0);
-  ASSERT_TRUE(d.Read(zone_bytes, zone_bytes, r.value(), &got).ok());
+  ASSERT_TRUE(TestRead(d, zone_bytes, zone_bytes, r.value(), &got).ok());
   EXPECT_EQ(got, tok1);
-  ASSERT_TRUE(d.Read(2 * zone_bytes, 16 * 4096, r.value(), &got).ok());
+  ASSERT_TRUE(TestRead(d, 2 * zone_bytes, 16 * 4096, r.value(), &got).ok());
   EXPECT_EQ(got, tail);
   EXPECT_EQ(d.zones().Info(ZoneId{2}).write_pointer, 16 * 4096u);
 }
@@ -358,7 +360,7 @@ TEST(CheckpointDeviceTest, ZoneResetAfterCheckpointDoesNotResurrectOldEpoch) {
   const std::uint64_t zone_slots = zone_bytes / 4096;
 
   // Epoch 1 fills the zone and is captured by a checkpoint image.
-  auto w = d.Write(0, zone_bytes, SimTime::Zero(), Tokens(0, zone_slots));
+  auto w = TestWrite(d, 0, zone_bytes, SimTime::Zero(), Tokens(0, zone_slots));
   ASSERT_TRUE(w.ok());
   auto f = d.Flush(w.value());
   ASSERT_TRUE(f.ok());
@@ -369,7 +371,7 @@ TEST(CheckpointDeviceTest, ZoneResetAfterCheckpointDoesNotResurrectOldEpoch) {
   auto rz = d.ResetZone(ZoneId{0}, ck.value());
   ASSERT_TRUE(rz.ok()) << rz.status().ToString();
   const auto fresh = Tokens(5000, 8);
-  auto w2 = d.Write(0, 8 * 4096, rz.value(), fresh);
+  auto w2 = TestWrite(d, 0, 8 * 4096, rz.value(), fresh);
   ASSERT_TRUE(w2.ok());
   auto f2 = d.Flush(w2.value());
   ASSERT_TRUE(f2.ok());
@@ -383,10 +385,10 @@ TEST(CheckpointDeviceTest, ZoneResetAfterCheckpointDoesNotResurrectOldEpoch) {
   EXPECT_GT(d.recovery_stats().checkpoint_stale_dropped, 0u);
   EXPECT_EQ(d.zones().Info(ZoneId{0}).write_pointer, 8 * 4096u);
   std::vector<std::uint64_t> got;
-  ASSERT_TRUE(d.Read(0, 8 * 4096, r.value(), &got).ok());
+  ASSERT_TRUE(TestRead(d, 0, 8 * 4096, r.value(), &got).ok());
   EXPECT_EQ(got, fresh);
   // Nothing from epoch 1 is readable past the recovered pointer.
-  EXPECT_FALSE(d.Read(8 * 4096, 4096, r.value()).ok());
+  EXPECT_FALSE(TestRead(d, 8 * 4096, 4096, r.value()).ok());
 }
 
 // ---------------------------------------------------------------------------

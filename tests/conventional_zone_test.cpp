@@ -9,6 +9,8 @@
 #include "core/device.hpp"
 #include "workload/fio.hpp"
 
+#include "test_io.hpp"
+
 namespace conzone {
 namespace {
 
@@ -37,7 +39,7 @@ class ConventionalZoneTest : public ::testing::Test {
   }
 
   void WriteAt(std::uint64_t off, std::uint64_t len, SimTime& t, std::uint64_t salt) {
-    auto r = dev_->Write(off, len, t, Tokens(off / 4096, len / 4096, salt));
+    auto r = TestWrite(*dev_, off, len, t, Tokens(off / 4096, len / 4096, salt));
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     t = r.value();
   }
@@ -45,7 +47,7 @@ class ConventionalZoneTest : public ::testing::Test {
   void VerifyRead(std::uint64_t off, std::uint64_t len, SimTime& t,
                   std::uint64_t salt) {
     std::vector<std::uint64_t> got;
-    auto r = dev_->Read(off, len, t, &got);
+    auto r = TestRead(*dev_, off, len, t, &got);
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     t = r.value();
     EXPECT_EQ(got, Tokens(off / 4096, len / 4096, salt));
@@ -80,10 +82,10 @@ TEST_F(ConventionalZoneTest, SequentialZonesKeepTheirRules) {
   SimTime t;
   const std::uint64_t seq0 = 2 * zb_;  // first sequential zone
   // Sequential zone still demands write-pointer order...
-  EXPECT_FALSE(dev_->Write(seq0 + 8192, 4096, t).ok());
-  ASSERT_TRUE(dev_->Write(seq0, 4096, t).ok());
+  EXPECT_FALSE(TestWrite(*dev_, seq0 + 8192, 4096, t).ok());
+  ASSERT_TRUE(TestWrite(*dev_, seq0, 4096, t).ok());
   // ...while the conventional zone does not.
-  EXPECT_TRUE(dev_->Write(1 * zb_ + 512 * kKiB, 4096, t).ok());
+  EXPECT_TRUE(TestWrite(*dev_, 1 * zb_ + 512 * kKiB, 4096, t).ok());
 }
 
 TEST_F(ConventionalZoneTest, MixedTrafficKeepsIntegrity) {
@@ -145,7 +147,7 @@ TEST_F(ConventionalZoneTest, ResetDropsConventionalZone) {
   auto r = dev_->ResetZone(ZoneId{0}, t);
   ASSERT_TRUE(r.ok());
   t = r.value();
-  EXPECT_FALSE(dev_->Read(0, 4096, t).ok());
+  EXPECT_FALSE(TestRead(*dev_, 0, 4096, t).ok());
   WriteAt(0, 4096, t, 4);  // immediately rewritable
   VerifyRead(0, 4096, t, 4);
 }

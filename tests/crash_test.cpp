@@ -17,6 +17,8 @@
 #include "flash/array.hpp"
 #include "ftl/l2p_log.hpp"
 
+#include "test_io.hpp"
+
 namespace conzone {
 namespace {
 
@@ -50,14 +52,14 @@ TEST(CrashApiTest, OpsRejectedWhilePoweredOffAndRecoverRestoresService) {
   ASSERT_TRUE(dev.ok());
   ConZoneDevice& d = **dev;
   const std::uint64_t zone_bytes = d.config().zone_size_bytes;
-  auto w = d.Write(0, 8 * 4096, SimTime::Zero());
+  auto w = TestWrite(d, 0, 8 * 4096, SimTime::Zero());
   ASSERT_TRUE(w.ok());
 
   ASSERT_TRUE(d.PowerCut(w.value()).ok());
   EXPECT_TRUE(d.powered_off());
-  EXPECT_EQ(d.Write(zone_bytes, 4096, w.value()).status().code(),
+  EXPECT_EQ(TestWrite(d, zone_bytes, 4096, w.value()).status().code(),
             StatusCode::kFailedPrecondition);
-  EXPECT_EQ(d.Read(0, 4096, w.value()).status().code(),
+  EXPECT_EQ(TestRead(d, 0, 4096, w.value()).status().code(),
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(d.Flush(w.value()).status().code(), StatusCode::kFailedPrecondition);
   // Recover on a powered-off device works; on a powered-on one it fails.
@@ -75,7 +77,7 @@ TEST(CrashApiTest, CutMayNotPrecedeLastSubmission) {
   auto dev = ConZoneDevice::Create(CrashConfig());
   ASSERT_TRUE(dev.ok());
   const SimTime t = SimTime::FromNanos(1000000);
-  ASSERT_TRUE((*dev)->Write(0, 4096, t).ok());
+  ASSERT_TRUE(TestWrite(**dev, 0, 4096, t).ok());
   EXPECT_EQ((*dev)->PowerCut(SimTime::Zero()).code(), StatusCode::kInvalidArgument);
 }
 
@@ -87,7 +89,7 @@ TEST(CrashApiTest, AcknowledgedFlushSurvivesImmediateCut) {
   // the exact state a flush must force all the way to media.
   std::vector<std::uint64_t> tokens;
   for (std::uint64_t i = 0; i < 29; ++i) tokens.push_back(1000 + i);
-  auto w = d.Write(0, tokens.size() * 4096, SimTime::Zero(), tokens);
+  auto w = TestWrite(d, 0, tokens.size() * 4096, SimTime::Zero(), tokens);
   ASSERT_TRUE(w.ok());
   auto f = d.Flush(w.value());
   ASSERT_TRUE(f.ok());
@@ -99,7 +101,7 @@ TEST(CrashApiTest, AcknowledgedFlushSurvivesImmediateCut) {
   ASSERT_TRUE(r.ok());
 
   std::vector<std::uint64_t> got;
-  auto rd = d.Read(0, tokens.size() * 4096, r.value(), &got);
+  auto rd = TestRead(d, 0, tokens.size() * 4096, r.value(), &got);
   ASSERT_TRUE(rd.ok());
   EXPECT_EQ(got, tokens);
   EXPECT_EQ(d.zones().Info(ZoneId{0}).write_pointer, tokens.size() * 4096);
@@ -111,7 +113,7 @@ TEST(CrashApiTest, UnflushedBufferContentIsLostButZoneStaysPrefixConsistent) {
   ConZoneDevice& d = **dev;
   // 3 slots stay purely in SRAM (below any program threshold).
   std::vector<std::uint64_t> tokens{7, 8, 9};
-  auto w = d.Write(0, 3 * 4096, SimTime::Zero(), tokens);
+  auto w = TestWrite(d, 0, 3 * 4096, SimTime::Zero(), tokens);
   ASSERT_TRUE(w.ok());
   ASSERT_TRUE(d.PowerCut(w.value()).ok());
   auto r = d.Recover(w.value());
@@ -119,7 +121,7 @@ TEST(CrashApiTest, UnflushedBufferContentIsLostButZoneStaysPrefixConsistent) {
   EXPECT_EQ(d.zones().Info(ZoneId{0}).write_pointer, 0u);
   EXPECT_GE(d.recovery_stats().buffered_slots_lost, 3u);
   // The zone accepts writes from the reverted pointer again.
-  EXPECT_TRUE(d.Write(0, 4096, r.value()).ok());
+  EXPECT_TRUE(TestWrite(d, 0, 4096, r.value()).ok());
 }
 
 // ---------------------------------------------------------------------------

@@ -7,6 +7,8 @@
 #include "core/device.hpp"
 #include "workload/fio.hpp"
 
+#include "test_io.hpp"
+
 namespace conzone {
 namespace {
 
@@ -38,7 +40,7 @@ class ConZoneDeviceTest : public ::testing::Test {
   /// Write with integrity tokens and verify a later read returns them.
   void WriteAt(std::uint64_t off, std::uint64_t len, SimTime& t, std::uint64_t salt = 0) {
     auto tokens = Tokens(off / 4096, len / 4096, salt);
-    auto r = dev_->Write(off, len, t, tokens);
+    auto r = TestWrite(*dev_, off, len, t, tokens);
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     t = r.value();
   }
@@ -46,7 +48,7 @@ class ConZoneDeviceTest : public ::testing::Test {
   void VerifyRead(std::uint64_t off, std::uint64_t len, SimTime& t,
                   std::uint64_t salt = 0) {
     std::vector<std::uint64_t> got;
-    auto r = dev_->Read(off, len, t, &got);
+    auto r = TestRead(*dev_, off, len, t, &got);
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     t = r.value();
     auto want = Tokens(off / 4096, len / 4096, salt);
@@ -172,7 +174,7 @@ TEST_F(ConZoneDeviceTest, ZoneResetErasesAndUnmaps) {
   EXPECT_EQ(dev_->zones().Info(ZoneId{0}).state, ZoneState::kEmpty);
   EXPECT_FALSE(dev_->mapping().Get(Lpn{0}).mapped());
   // Reads of a reset zone fail.
-  auto bad = dev_->Read(0, 4096, t);
+  auto bad = TestRead(*dev_, 0, 4096, t);
   EXPECT_FALSE(bad.ok());
   // The zone is writable again and data verifies with fresh payloads.
   WriteAt(0, 512 * kKiB, t, /*salt=*/7);
@@ -182,7 +184,7 @@ TEST_F(ConZoneDeviceTest, ZoneResetErasesAndUnmaps) {
 TEST_F(ConZoneDeviceTest, NonSequentialWriteRejected) {
   SimTime t;
   WriteAt(0, 4096, t);
-  auto r = dev_->Write(8192, 4096, t);  // skips the write pointer
+  auto r = TestWrite(*dev_, 8192, 4096, t);  // skips the write pointer
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
@@ -192,14 +194,14 @@ TEST_F(ConZoneDeviceTest, WriteCrossingZoneBoundaryRejected) {
   for (std::uint64_t off = 0; off < zone_bytes_ - 512 * kKiB; off += 512 * kKiB) {
     WriteAt(off, 512 * kKiB, t);
   }
-  auto r = dev_->Write(zone_bytes_ - 4096, 8192, t);
+  auto r = TestWrite(*dev_, zone_bytes_ - 4096, 8192, t);
   EXPECT_FALSE(r.ok());
 }
 
 TEST_F(ConZoneDeviceTest, ReadBeyondWritePointerRejected) {
   SimTime t;
   WriteAt(0, 4096, t);
-  auto r = dev_->Read(4096, 4096, t);
+  auto r = TestRead(*dev_, 4096, 4096, t);
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
 }
@@ -235,11 +237,11 @@ TEST_F(ConZoneDeviceTest, FlushAllMakesDataDurable) {
 TEST_F(ConZoneDeviceTest, TimingLatenciesAreSane) {
   SimTime t;
   // A buffered 4 KiB write completes in microseconds (RAM, no flash).
-  auto w = dev_->Write(0, 4096, t);
+  auto w = TestWrite(*dev_, 0, 4096, t);
   ASSERT_TRUE(w.ok());
   EXPECT_LT((w.value() - t).us(), 100.0);
   // Reading it back from the buffer is also fast.
-  auto r = dev_->Read(0, 4096, w.value());
+  auto r = TestRead(*dev_, 0, 4096, w.value());
   ASSERT_TRUE(r.ok());
   EXPECT_LT((r.value() - w.value()).us(), 100.0);
 }
@@ -262,7 +264,7 @@ TEST(ConZoneL2pLogTest, LogAccumulatesAndFlushesBlocking) {
   SimTime t;
   // 16 MiB of writes = 4096 mapping updates = 2 log flushes.
   for (std::uint64_t off = 0; off < 16 * kMiB; off += 512 * kKiB) {
-    auto r = d.Write(off, 512 * kKiB, t);
+    auto r = TestWrite(d, off, 512 * kKiB, t);
     ASSERT_TRUE(r.ok());
     t = r.value();
   }
@@ -285,7 +287,7 @@ TEST(ConZoneL2pLogTest, LogFlushCostsWriteTime) {
     EXPECT_TRUE(devr.ok());
     SimTime t;
     for (std::uint64_t off = 0; off < 16 * kMiB; off += 512 * kKiB) {
-      t = (*devr)->Write(off, 512 * kKiB, t).value();
+      t = TestWrite(**devr, off, 512 * kKiB, t).value();
     }
     auto f = (*devr)->Flush(t);
     EXPECT_TRUE(f.ok());

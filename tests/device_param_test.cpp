@@ -7,6 +7,8 @@
 #include "core/device.hpp"
 #include "workload/fio.hpp"
 
+#include "test_io.hpp"
+
 namespace conzone {
 namespace {
 
@@ -57,7 +59,7 @@ TEST_P(DeviceGeometrySweep, FullCycleRoundTrips) {
         std::min<std::uint64_t>((1 + rng.NextBelow(64)) * 4096, zb - pos);
     std::vector<std::uint64_t> tk(len / 4096);
     for (auto& v : tk) v = pos / 4096 + (&v - tk.data()) + 1000000;
-    auto r = dev.Write(pos, len, t, tk);
+    auto r = TestWrite(dev, pos, len, t, tk);
     ASSERT_TRUE(r.ok()) << "pos " << pos << ": " << r.status().ToString();
     t = r.value();
     tokens.insert(tokens.end(), tk.begin(), tk.end());
@@ -66,16 +68,16 @@ TEST_P(DeviceGeometrySweep, FullCycleRoundTrips) {
   EXPECT_EQ(dev.zones().Info(ZoneId{0}).state, ZoneState::kFull);
 
   std::vector<std::uint64_t> got;
-  auto rr = dev.Read(0, zb, t, &got);
+  auto rr = TestRead(dev, 0, zb, t, &got);
   ASSERT_TRUE(rr.ok()) << rr.status().ToString();
   EXPECT_EQ(got, tokens);
 
   auto rs = dev.ResetZone(ZoneId{0}, rr.value());
   ASSERT_TRUE(rs.ok());
-  auto w2 = dev.Write(0, 4096, rs.value());
+  auto w2 = TestWrite(dev, 0, 4096, rs.value());
   ASSERT_TRUE(w2.ok());
   std::vector<std::uint64_t> got2;
-  ASSERT_TRUE(dev.Read(0, 4096, w2.value(), &got2).ok());
+  ASSERT_TRUE(TestRead(dev, 0, 4096, w2.value(), &got2).ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -31,6 +31,8 @@
 
 #include "conzone/conzone.hpp"
 
+#include "test_io.hpp"
+
 namespace conzone {
 namespace {
 

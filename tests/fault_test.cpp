@@ -17,6 +17,8 @@
 #include "gc/slc_gc.hpp"
 #include "workload/fio.hpp"
 
+#include "test_io.hpp"
+
 namespace conzone {
 namespace {
 
@@ -297,7 +299,7 @@ class DeviceFaultTest : public ::testing::Test {
 
   void WriteAt(std::uint64_t off, std::uint64_t len, SimTime& t, std::uint64_t salt = 0) {
     auto tokens = Tokens(off / 4096, len / 4096, salt);
-    auto r = dev_->Write(off, len, t, tokens);
+    auto r = TestWrite(*dev_, off, len, t, tokens);
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     t = r.value();
   }
@@ -305,7 +307,7 @@ class DeviceFaultTest : public ::testing::Test {
   void VerifyRead(std::uint64_t off, std::uint64_t len, SimTime& t,
                   std::uint64_t salt = 0) {
     std::vector<std::uint64_t> got;
-    auto r = dev_->Read(off, len, t, &got);
+    auto r = TestRead(*dev_, off, len, t, &got);
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     t = r.value();
     auto want = Tokens(off / 4096, len / 4096, salt);
@@ -398,7 +400,7 @@ TEST_F(DeviceFaultTest, SpareFloorTripsReadOnlyButReadsKeepWorking) {
   for (int i = 0; i < 200; ++i) {
     const std::uint64_t off = written;
     auto tokens = Tokens(off / 4096, 8);
-    auto w = dev_->Write(off, 8 * 4096, t, tokens);
+    auto w = TestWrite(*dev_, off, 8 * 4096, t, tokens);
     if (!w.ok()) {
       write_error = w.status();
       break;
@@ -578,7 +580,7 @@ SoakOutcome RunSoak() {
       const std::uint64_t first = z * slots_per_zone + wp[z];
       ++salt;
       auto tokens = Tokens(first, n, salt);
-      auto w = dev.Write(first * 4096, n * 4096, t, tokens);
+      auto w = TestWrite(dev, first * 4096, n * 4096, t, tokens);
       if (!w.ok()) {
         EXPECT_EQ(w.status().code(), StatusCode::kResourceExhausted)
             << w.status().ToString();
@@ -597,7 +599,7 @@ SoakOutcome RunSoak() {
                                                       wp[z] - start);
       const std::uint64_t first = z * slots_per_zone + start;
       std::vector<std::uint64_t> got;
-      auto r = dev.Read(first * 4096, n * 4096, t, &got);
+      auto r = TestRead(dev, first * 4096, n * 4096, t, &got);
       EXPECT_TRUE(r.ok()) << r.status().ToString();
       if (!r.ok()) continue;
       t = r.value();

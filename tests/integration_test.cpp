@@ -8,6 +8,8 @@
 #include "legacy/legacy_device.hpp"
 #include "workload/fio.hpp"
 
+#include "test_io.hpp"
+
 namespace conzone {
 namespace {
 
@@ -34,13 +36,13 @@ TEST(IntegrationTest, SlcGcTriggersUnderSustainedConflictTraffic) {
     std::uint64_t a = 0, b = 0;
     while (a < zb) {
       const std::uint64_t la = std::min<std::uint64_t>(48 * kKiB, zb - a);
-      auto ra = d.Write(0 * zb + a, la, t);
+      auto ra = TestWrite(d, 0 * zb + a, la, t);
       ASSERT_TRUE(ra.ok()) << ra.status().ToString();
       t = ra.value();
       a += la;
       const std::uint64_t lb = std::min<std::uint64_t>(48 * kKiB, zb - b);
       if (b < zb) {
-        auto rb = d.Write(2 * zb + b, lb, t);
+        auto rb = TestWrite(d, 2 * zb + b, lb, t);
         ASSERT_TRUE(rb.ok()) << rb.status().ToString();
         t = rb.value();
         b += lb;
@@ -76,10 +78,10 @@ TEST(IntegrationTest, GcMigrationBreaksZoneAggregationSafely) {
     std::uint64_t a = 0;
     while (a < zb) {
       const std::uint64_t len = std::min<std::uint64_t>(48 * kKiB, zb - a);
-      auto r1 = d.Write(1 * zb + a, len, t);
+      auto r1 = TestWrite(d, 1 * zb + a, len, t);
       ASSERT_TRUE(r1.ok()) << r1.status().ToString();
       t = r1.value();
-      auto r2 = d.Write(3 * zb + a, len, t);
+      auto r2 = TestWrite(d, 3 * zb + a, len, t);
       ASSERT_TRUE(r2.ok()) << r2.status().ToString();
       t = r2.value();
       a += len;
@@ -92,7 +94,7 @@ TEST(IntegrationTest, GcMigrationBreaksZoneAggregationSafely) {
   // Zone 0 must no longer be zone-aggregated, but reads stay perfect.
   EXPECT_NE(d.mapping().Get(Lpn{zb / 4096 - 1}).gran, MapGranularity::kZone);
   std::vector<std::uint64_t> got;
-  auto r = d.Read(0, zb, t, &got);
+  auto r = TestRead(d, 0, zb, t, &got);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(got.size(), zb / 4096);
 }
@@ -119,7 +121,7 @@ TEST(IntegrationTest, FillEveryZoneThenResetEverything) {
   // The device is reusable end to end after a full wipe.
   ASSERT_TRUE(FioRunner::Precondition(d, 0, di.zone_size_bytes, 512 * kKiB, &t).ok());
   std::vector<std::uint64_t> got;
-  ASSERT_TRUE(d.Read(0, di.zone_size_bytes, t, &got).ok());
+  ASSERT_TRUE(TestRead(d, 0, di.zone_size_bytes, t, &got).ok());
 }
 
 TEST(IntegrationTest, StrategiesAgreeOnDataOnlyTimingDiffers) {
@@ -138,7 +140,7 @@ TEST(IntegrationTest, StrategiesAgreeOnDataOnlyTimingDiffers) {
     Rng rng(77);
     for (int i = 0; i < 400; ++i) {
       const std::uint64_t off = rng.NextBelow(32 * kMiB / 4096) * 4096;
-      auto r = (*dev)->Read(off, 4096, t, &got);
+      auto r = TestRead(**dev, off, 4096, t, &got);
       ASSERT_TRUE(r.ok()) << r.status().ToString();
       t = r.value();
     }
@@ -190,15 +192,15 @@ TEST(IntegrationTest, OpenZoneLimitsHoldThroughTheDevice) {
   ConZoneDevice& d = **dev;
   SimTime t;
   const std::uint64_t zb = d.info().zone_size_bytes;
-  ASSERT_TRUE(d.Write(0 * zb, 4096, t).ok());
-  ASSERT_TRUE(d.Write(1 * zb, 4096, t).ok());
-  ASSERT_TRUE(d.Write(2 * zb, 4096, t).ok());  // implicit-closes one
+  ASSERT_TRUE(TestWrite(d, 0 * zb, 4096, t).ok());
+  ASSERT_TRUE(TestWrite(d, 1 * zb, 4096, t).ok());
+  ASSERT_TRUE(TestWrite(d, 2 * zb, 4096, t).ok());  // implicit-closes one
   EXPECT_EQ(d.zones().active_count(), 3u);
-  auto r = d.Write(3 * zb, 4096, t);
+  auto r = TestWrite(d, 3 * zb, 4096, t);
   EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
   // Resetting an active zone frees the slot.
   ASSERT_TRUE(d.ResetZone(ZoneId{0}, t).ok());
-  EXPECT_TRUE(d.Write(3 * zb, 4096, t).ok());
+  EXPECT_TRUE(TestWrite(d, 3 * zb, 4096, t).ok());
 }
 
 TEST(IntegrationTest, FinishZoneFlushesAndSeals) {
@@ -206,17 +208,17 @@ TEST(IntegrationTest, FinishZoneFlushesAndSeals) {
   ASSERT_TRUE(dev.ok());
   ConZoneDevice& d = **dev;
   SimTime t;
-  t = d.Write(0, 40 * kKiB, t).value();
+  t = TestWrite(d, 0, 40 * kKiB, t).value();
   auto f = d.FinishZone(ZoneId{0}, t);
   ASSERT_TRUE(f.ok());
   t = f.value();
   EXPECT_EQ(d.zones().Info(ZoneId{0}).state, ZoneState::kFull);
   // Written prefix readable from media, not buffer RAM.
   std::vector<std::uint64_t> got;
-  ASSERT_TRUE(d.Read(0, 40 * kKiB, t, &got).ok());
+  ASSERT_TRUE(TestRead(d, 0, 40 * kKiB, t, &got).ok());
   EXPECT_EQ(d.stats().buffer_ram_reads, 0u);
   // Writes rejected after finish.
-  EXPECT_FALSE(d.Write(40 * kKiB, 4096, t).ok());
+  EXPECT_FALSE(TestWrite(d, 40 * kKiB, 4096, t).ok());
 }
 
 TEST(IntegrationTest, QlcConfigurationWorksEndToEnd) {
@@ -238,7 +240,7 @@ TEST(IntegrationTest, QlcConfigurationWorksEndToEnd) {
   EXPECT_EQ(d.stats().patch_runs, 0u);
   EXPECT_EQ(d.stats().aggregates_zone, 1u);
   std::vector<std::uint64_t> got;
-  ASSERT_TRUE(d.Read(0, 16 * kMiB, t, &got).ok());
+  ASSERT_TRUE(TestRead(d, 0, 16 * kMiB, t, &got).ok());
 }
 
 }  // namespace

@@ -9,6 +9,8 @@
 #include "femu/femu_device.hpp"
 #include "legacy/legacy_device.hpp"
 
+#include "test_io.hpp"
+
 namespace conzone {
 namespace {
 
@@ -35,7 +37,7 @@ class LegacyDeviceTest : public ::testing::Test {
   }
 
   void WriteAt(std::uint64_t off, std::uint64_t len, SimTime& t, std::uint64_t salt = 0) {
-    auto r = dev_->Write(off, len, t, Tokens(off / 4096, len / 4096, salt));
+    auto r = TestWrite(*dev_, off, len, t, Tokens(off / 4096, len / 4096, salt));
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     t = r.value();
   }
@@ -43,7 +45,7 @@ class LegacyDeviceTest : public ::testing::Test {
   void VerifyRead(std::uint64_t off, std::uint64_t len, SimTime& t,
                   std::uint64_t salt = 0) {
     std::vector<std::uint64_t> got;
-    auto r = dev_->Read(off, len, t, &got);
+    auto r = TestRead(*dev_, off, len, t, &got);
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     t = r.value();
     EXPECT_EQ(got, Tokens(off / 4096, len / 4096, salt));
@@ -117,15 +119,15 @@ TEST_F(LegacyDeviceTest, GcMigratesLiveDataUnderRandomOverwrites) {
 
 TEST_F(LegacyDeviceTest, ReadOfUnwrittenFails) {
   SimTime t;
-  auto r = dev_->Read(0, 4096, t);
+  auto r = TestRead(*dev_, 0, 4096, t);
   EXPECT_FALSE(r.ok());
 }
 
 TEST_F(LegacyDeviceTest, AlignmentEnforced) {
   SimTime t;
-  EXPECT_FALSE(dev_->Write(100, 4096, t).ok());
-  EXPECT_FALSE(dev_->Write(0, 100, t).ok());
-  EXPECT_FALSE(dev_->Write(dev_->info().capacity_bytes, 4096, t).ok());
+  EXPECT_FALSE(TestWrite(*dev_, 100, 4096, t).ok());
+  EXPECT_FALSE(TestWrite(*dev_, 0, 100, t).ok());
+  EXPECT_FALSE(TestWrite(*dev_, dev_->info().capacity_bytes, 4096, t).ok());
 }
 
 TEST_F(LegacyDeviceTest, PrefetchServesSequentialReads) {
@@ -161,31 +163,31 @@ TEST_F(FemuDeviceTest, InfoUsesNaturalZoneSize) {
 
 TEST_F(FemuDeviceTest, WriteReadRoundTrip) {
   SimTime t;
-  auto w = dev_->Write(0, 1 * kMiB, t, Tokens(0, 256));
+  auto w = TestWrite(*dev_, 0, 1 * kMiB, t, Tokens(0, 256));
   ASSERT_TRUE(w.ok());
   std::vector<std::uint64_t> got;
-  auto r = dev_->Read(0, 1 * kMiB, w.value(), &got);
+  auto r = TestRead(*dev_, 0, 1 * kMiB, w.value(), &got);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(got, Tokens(0, 256));
 }
 
 TEST_F(FemuDeviceTest, ZoneSemanticsEnforced) {
   SimTime t;
-  ASSERT_TRUE(dev_->Write(0, 4096, t).ok());
-  EXPECT_FALSE(dev_->Write(8192, 4096, t).ok());         // skips wp
-  EXPECT_FALSE(dev_->Read(8192, 4096, t).ok());          // beyond wp
+  ASSERT_TRUE(TestWrite(*dev_, 0, 4096, t).ok());
+  EXPECT_FALSE(TestWrite(*dev_, 8192, 4096, t).ok());         // skips wp
+  EXPECT_FALSE(TestRead(*dev_, 8192, 4096, t).ok());          // beyond wp
   ASSERT_TRUE(dev_->ResetZone(ZoneId{0}, t).ok());
-  EXPECT_FALSE(dev_->Read(0, 4096, t).ok());              // reset zone
-  EXPECT_TRUE(dev_->Write(0, 4096, t).ok());              // wp rewound
+  EXPECT_FALSE(TestRead(*dev_, 0, 4096, t).ok());              // reset zone
+  EXPECT_TRUE(TestWrite(*dev_, 0, 4096, t).ok());              // wp rewound
 }
 
 TEST_F(FemuDeviceTest, KvmJitterDominatesSmallReads) {
   SimTime t;
-  t = dev_->Write(0, 1 * kMiB, t).value();
+  t = TestWrite(*dev_, 0, 1 * kMiB, t).value();
   LatencyHistogram lat;
   SimTime now = t + SimDuration::Millis(10);
   for (int i = 0; i < 200; ++i) {
-    const SimTime end = dev_->Read(0, 4096, now).value();
+    const SimTime end = TestRead(*dev_, 0, 4096, now).value();
     lat.Record(end - now);
     now = end;
   }
@@ -200,18 +202,18 @@ TEST_F(FemuDeviceTest, DeterministicAcrossRuns) {
   auto dev2 = FemuModelDevice::Create(FemuConfig{});
   ASSERT_TRUE(dev2.ok());
   SimTime a, b;
-  a = dev_->Write(0, 64 * kKiB, a).value();
-  b = (*dev2)->Write(0, 64 * kKiB, b).value();
+  a = TestWrite(*dev_, 0, 64 * kKiB, a).value();
+  b = TestWrite(**dev2, 0, 64 * kKiB, b).value();
   EXPECT_EQ(a, b);
-  EXPECT_EQ(dev_->Read(0, 64 * kKiB, a).value(), (*dev2)->Read(0, 64 * kKiB, b).value());
+  EXPECT_EQ(TestRead(*dev_, 0, 64 * kKiB, a).value(), TestRead(**dev2, 0, 64 * kKiB, b).value());
 }
 
 TEST_F(FemuDeviceTest, SequentialReadsSerializePages) {
   SimTime t;
-  t = dev_->Write(0, 1 * kMiB, t).value();
+  t = TestWrite(*dev_, 0, 1 * kMiB, t).value();
   const SimTime start = t + SimDuration::Millis(5);
-  const SimTime small = dev_->Read(0, 16 * kKiB, start).value();
-  const SimTime big = dev_->Read(0, 512 * kKiB, small).value();
+  const SimTime small = TestRead(*dev_, 0, 16 * kKiB, start).value();
+  const SimTime big = TestRead(*dev_, 0, 512 * kKiB, small).value();
   // 32 pages serially (sense + jitter each) dwarf a single page read.
   EXPECT_GT((big - small).us(), 10.0 * (small - start).us());
 }

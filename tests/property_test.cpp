@@ -19,6 +19,8 @@
 #include "common/rng.hpp"
 #include "core/device.hpp"
 
+#include "test_io.hpp"
+
 namespace conzone {
 namespace {
 
@@ -64,7 +66,7 @@ TEST_P(DevicePropertyTest, RandomOpSequenceKeepsAllInvariants) {
       std::vector<std::uint64_t> tokens(len / slot);
       for (auto& tok : tokens) tok = next_token++;
       const std::uint64_t off = z * zone_bytes + wp[z];
-      auto r = dev.Write(off, len, t, tokens);
+      auto r = TestWrite(dev, off, len, t, tokens);
       ASSERT_TRUE(r.ok()) << "step " << step << ": " << r.status().ToString();
       ASSERT_GE(r.value(), t);  // P5
       t = r.value();
@@ -80,7 +82,7 @@ TEST_P(DevicePropertyTest, RandomOpSequenceKeepsAllInvariants) {
       const std::uint64_t count = 1 + rng.NextBelow(std::min<std::uint64_t>(64, max_slots - start));
       std::vector<std::uint64_t> got;
       const std::uint64_t off = z * zone_bytes + start * slot;
-      auto r = dev.Read(off, count * slot, t, &got);
+      auto r = TestRead(dev, off, count * slot, t, &got);
       ASSERT_TRUE(r.ok()) << "step " << step << ": " << r.status().ToString();
       ASSERT_GE(r.value(), t);
       t = r.value();
@@ -153,15 +155,15 @@ TEST(AggregationPropertyTest, AggregatedEntriesResolveToTablePpns) {
   SimTime t;
   // Complete two zones (one clean, one via conflicting traffic).
   for (std::uint64_t off = 0; off < zone_bytes; off += 512 * kKiB) {
-    t = dev.Write(off, 512 * kKiB, t).value();
+    t = TestWrite(dev, off, 512 * kKiB, t).value();
   }
   std::uint64_t pos = 0, off3 = 0;
   while (pos < zone_bytes) {
     const std::uint64_t len = std::min<std::uint64_t>(48 * kKiB, zone_bytes - pos);
-    t = dev.Write(2 * zone_bytes + pos, len, t).value();
+    t = TestWrite(dev, 2 * zone_bytes + pos, len, t).value();
     pos += len;
     if (off3 < 48 * kKiB * 20) {
-      t = dev.Write(4 * zone_bytes + off3, 48 * kKiB, t).value();  // conflicting zone
+      t = TestWrite(dev, 4 * zone_bytes + off3, 48 * kKiB, t).value();  // conflicting zone
       off3 += 48 * kKiB;
     }
   }

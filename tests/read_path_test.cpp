@@ -6,6 +6,8 @@
 #include "core/device.hpp"
 #include "workload/fio.hpp"
 
+#include "test_io.hpp"
+
 namespace conzone {
 namespace {
 
@@ -29,9 +31,9 @@ class ReadPathTest : public ::testing::Test {
 TEST_F(ReadPathTest, SequentialReadCoalescesSlotsIntoPageReads) {
   SimTime t;
   ASSERT_TRUE(FioRunner::Precondition(*dev_, 0, 1 * kMiB, 384 * kKiB, &t).ok());
-  t = dev_->Read(0, 512 * kKiB, t).value();  // warm the translations
+  t = TestRead(*dev_, 0, 512 * kKiB, t).value();  // warm the translations
   const std::uint64_t before = dev_->media_counters().page_reads;
-  auto r = dev_->Read(0, 512 * kKiB, t, nullptr);
+  auto r = TestRead(*dev_, 0, 512 * kKiB, t, nullptr);
   ASSERT_TRUE(r.ok());
   // 512 KiB = 128 slots = exactly 32 flash pages, no metadata fetches
   // once the L2P entries are resident.
@@ -42,26 +44,26 @@ TEST_F(ReadPathTest, SingleSlotReadCostsOnePageRead) {
   SimTime t;
   ASSERT_TRUE(FioRunner::Precondition(*dev_, 0, 1 * kMiB, 384 * kKiB, &t).ok());
   // Warm the translation.
-  t = dev_->Read(0, 4096, t).value();
+  t = TestRead(*dev_, 0, 4096, t).value();
   const std::uint64_t before = dev_->media_counters().page_reads;
-  ASSERT_TRUE(dev_->Read(0, 4096, t).ok());
+  ASSERT_TRUE(TestRead(*dev_, 0, 4096, t).ok());
   EXPECT_EQ(dev_->media_counters().page_reads - before, 1u);
 }
 
 TEST_F(ReadPathTest, SlcResidentDataReadsFasterThanTlc) {
   SimTime t;
   // 4 KiB flushed alone lands in SLC; a full superpage lands in TLC.
-  t = dev_->Write(0, 4096, t).value();
+  t = TestWrite(*dev_, 0, 4096, t).value();
   t = dev_->Flush(t).value();
-  t = dev_->Write(2 * dev_->info().zone_size_bytes, 384 * kKiB, t).value();
+  t = TestWrite(*dev_, 2 * dev_->info().zone_size_bytes, 384 * kKiB, t).value();
   t = dev_->Flush(t).value();
   // Warm translations so only media latency differs.
-  t = dev_->Read(0, 4096, t).value();
-  t = dev_->Read(2 * dev_->info().zone_size_bytes, 4096, t).value();
+  t = TestRead(*dev_, 0, 4096, t).value();
+  t = TestRead(*dev_, 2 * dev_->info().zone_size_bytes, 4096, t).value();
 
   const SimTime s0 = t;
-  const SimTime s1 = dev_->Read(0, 4096, s0).value();                      // SLC
-  const SimTime t1 = dev_->Read(2 * dev_->info().zone_size_bytes, 4096, s1).value();
+  const SimTime s1 = TestRead(*dev_, 0, 4096, s0).value();                      // SLC
+  const SimTime t1 = TestRead(*dev_, 2 * dev_->info().zone_size_bytes, 4096, s1).value();
   const double slc_us = (s1 - s0).us();
   const double tlc_us = (t1 - s1).us();
   // Table II: 20us vs 32us sense; everything else is identical.
@@ -74,7 +76,7 @@ TEST_F(ReadPathTest, ReadMaySpanZoneBoundary) {
   ASSERT_TRUE(FioRunner::Precondition(*dev_, 0, zb, 512 * kKiB, &t).ok());
   ASSERT_TRUE(FioRunner::Precondition(*dev_, zb, 512 * kKiB, 512 * kKiB, &t).ok());
   std::vector<std::uint64_t> got;
-  auto r = dev_->Read(zb - 64 * kKiB, 128 * kKiB, t, &got);
+  auto r = TestRead(*dev_, zb - 64 * kKiB, 128 * kKiB, t, &got);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(got.size(), 32u);
 }
@@ -83,8 +85,8 @@ TEST_F(ReadPathTest, HostCountersTrackBytes) {
   SimTime t;
   ASSERT_TRUE(FioRunner::Precondition(*dev_, 0, 2 * kMiB, 512 * kKiB, &t).ok());
   dev_->ResetStats();
-  t = dev_->Read(0, 1 * kMiB, t).value();
-  t = dev_->Read(0, 4096, t).value();
+  t = TestRead(*dev_, 0, 1 * kMiB, t).value();
+  t = TestRead(*dev_, 0, 4096, t).value();
   EXPECT_EQ(dev_->stats().reads, 2u);
   EXPECT_EQ(dev_->stats().host_bytes_read, 1 * kMiB + 4096);
 }
@@ -92,10 +94,10 @@ TEST_F(ReadPathTest, HostCountersTrackBytes) {
 TEST_F(ReadPathTest, LargerReadsTakeLonger) {
   SimTime t;
   ASSERT_TRUE(FioRunner::Precondition(*dev_, 0, 4 * kMiB, 512 * kKiB, &t).ok());
-  t = dev_->Read(0, 4 * kMiB, t).value();  // warm everything
+  t = TestRead(*dev_, 0, 4 * kMiB, t).value();  // warm everything
   const SimTime a0 = t;
-  const SimTime a1 = dev_->Read(0, 16 * kKiB, a0).value();
-  const SimTime b1 = dev_->Read(0, 1 * kMiB, a1).value();
+  const SimTime a1 = TestRead(*dev_, 0, 16 * kKiB, a0).value();
+  const SimTime b1 = TestRead(*dev_, 0, 1 * kMiB, a1).value();
   EXPECT_GT((b1 - a1).us(), (a1 - a0).us());
 }
 
@@ -116,7 +118,7 @@ TEST_F(ReadPathTest, MultipleStrategyUnstableTailVisibleThroughDevice) {
         FioRunner::Precondition(**dev, 0, 5 * kMiB, 512 * kKiB, &t).ok());
     const std::uint64_t target = 4 * kMiB + 512 * kKiB;  // chunk 1, page-mapped
     const SimTime start = t;
-    const SimTime end = (*dev)->Read(target, 4096, start).value();
+    const SimTime end = TestRead(**dev, target, 4096, start).value();
     return (end - start).us();
   };
   const double bitmap = miss_cost(L2pSearchStrategy::kBitmap);
@@ -139,11 +141,11 @@ TEST_F(ReadPathTest, PinnedKeepsZoneEntriesAcrossCachePressure) {
   Rng rng(3);
   for (int i = 0; i < 600; ++i) {
     const std::uint64_t off = 2 * zb + rng.NextBelow(2 * kMiB / 4096) * 4096;
-    t = (*dev)->Read(off, 4096, t).value();
+    t = TestRead(**dev, off, 4096, t).value();
   }
   // ...then zone 0 must still hit through its pinned entry.
   (*dev)->ResetStats();
-  t = (*dev)->Read(1 * kMiB, 4096, t).value();
+  t = TestRead(**dev, 1 * kMiB, 4096, t).value();
   EXPECT_EQ((*dev)->translator().stats().cache_hits, 1u);
 }
 

@@ -27,6 +27,8 @@
 
 #include "conzone/conzone.hpp"
 
+#include "test_io.hpp"
+
 namespace conzone {
 namespace {
 
@@ -1027,8 +1029,7 @@ TEST(RebuildSoakTest, RebuildUnderRandomPowerCutsSoak) {
     now = f.value();
     const std::uint64_t torn = pick.NextBelow(4) * stripe;
     if (torn != 0 && durable + torn <= zb) {
-      auto wt = v.Write(
-          IoRequest{durable, torn, now, Tokens(durable / 4096, torn / 4096)});
+      auto wt = v.Write(IoRequest{durable, torn, now, Tokens(durable / 4096, torn / 4096)});
       ASSERT_TRUE(wt.ok()) << "round=" << round;
       now = wt.value().done;
     }

@@ -27,6 +27,8 @@
 
 #include "conzone/conzone.hpp"
 
+#include "test_io.hpp"
+
 namespace conzone {
 namespace {
 
@@ -419,14 +421,14 @@ TEST(StripedVolumeTest, CompatOverloadsMatchIoRequestForm) {
 
   SimTime t;
   const auto toks = Tokens(0, 48);
-  auto wa = (*a)->Write(/*offset=*/0, /*len=*/192 * kKiB, t,
+  auto wa = TestWrite(**a, /*offset=*/0, /*len=*/192 * kKiB, t,
                         std::span<const std::uint64_t>(toks));
   auto wb = (*b)->Write(IoRequest{0, 192 * kKiB, t, toks});
   ASSERT_TRUE(wa.ok() && wb.ok());
   EXPECT_EQ(wa.value().ns(), wb.value().done.ns());
 
   std::vector<std::uint64_t> got;
-  auto ra = (*a)->Read(0, 192 * kKiB, wa.value(), &got);
+  auto ra = TestRead(**a, 0, 192 * kKiB, wa.value(), &got);
   auto rb = (*b)->Read(IoRequest{0, 192 * kKiB, wb.value().done, {}, true});
   ASSERT_TRUE(ra.ok() && rb.ok());
   EXPECT_EQ(ra.value().ns(), rb.value().done.ns());

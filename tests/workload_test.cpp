@@ -4,6 +4,8 @@
 #include "core/device.hpp"
 #include "workload/fio.hpp"
 
+#include "test_io.hpp"
+
 namespace conzone {
 namespace {
 
@@ -187,7 +189,7 @@ TEST_F(FioRunnerTest, PreconditionFillsAndFlushes) {
   EXPECT_EQ(dev_->zones().Info(ZoneId{0}).state, ZoneState::kFull);
   // Everything durable: no buffer-RAM reads afterwards.
   std::vector<std::uint64_t> got;
-  auto r = dev_->Read(0, 16 * kMiB, t, &got);
+  auto r = TestRead(*dev_, 0, 16 * kMiB, t, &got);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(dev_->stats().buffer_ram_reads, 0u);
 }
